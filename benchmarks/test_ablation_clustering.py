@@ -1,0 +1,41 @@
+"""Ablation: clustering distance threshold (§4.1.3).
+
+Single-link clustering with a threshold cut has one knob; sweeping it
+shows the regime the pipeline operates in — too tight shatters templates
+into per-instance singletons, too loose merges distinct providers.
+"""
+
+from repro.core.discovery import label_cluster
+from repro.textutil.linkage import cluster_documents
+
+
+def test_threshold_sweep(benchmark, top10k):
+    bodies = [o.sample.body for o in top10k.outliers
+              if o.sample.body is not None][:600]
+    assert len(bodies) >= 20
+
+    def sweep():
+        return {threshold: cluster_documents(bodies,
+                                             distance_threshold=threshold,
+                                             min_df=2).n_clusters
+                for threshold in (0.1, 0.4, 0.8)}
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Looser thresholds merge more: cluster count is non-increasing.
+    assert counts[0.1] >= counts[0.4] >= counts[0.8]
+
+
+def test_working_threshold_separates_providers(top10k):
+    bodies = [o.sample.body for o in top10k.outliers
+              if o.sample.body is not None][:600]
+    result = cluster_documents(bodies, distance_threshold=0.4, min_df=2)
+    labels = set()
+    for label in result.largest_first():
+        members = result.members(label)
+        if len(members) < 2:
+            continue
+        page_type = label_cluster(bodies[members[0]])
+        if page_type:
+            labels.add(page_type)
+    # The working threshold isolates multiple distinct page families.
+    assert len(labels) >= 2

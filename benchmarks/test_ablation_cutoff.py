@@ -1,0 +1,31 @@
+"""Ablation: length-cutoff sweep (§4.1.5).
+
+The paper notes the cutoff choice is "relatively arbitrary between 5%
+and 50%" — both ends lose roughly 20% of block pages.  This bench sweeps
+the cutoff and checks the recall surface is flat in the middle and
+degrades only at extreme cutoffs.
+"""
+
+from repro.core.metrics import overall_recall, recall_by_fingerprint
+
+
+def _recall_at(top10k, cutoff):
+    rows = recall_by_fingerprint(
+        top10k.initial, top10k.representatives, cutoff=cutoff,
+        registry=top10k.registry,
+        restrict_countries=top10k.top_blocking_countries[:20])
+    return overall_recall(rows)
+
+
+def test_cutoff_sweep(benchmark, top10k):
+    def sweep():
+        return {cutoff: _recall_at(top10k, cutoff)
+                for cutoff in (0.05, 0.15, 0.30, 0.50, 0.80, 0.95)}
+
+    recalls = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Monotone: a looser (smaller) cutoff can only flag more pages.
+    assert recalls[0.05] >= recalls[0.30] >= recalls[0.80]
+    # The 5%-50% plateau from the paper: similar recall across the range.
+    assert recalls[0.05] - recalls[0.50] < 0.35
+    # Extreme cutoffs hurt.
+    assert recalls[0.95] < recalls[0.30]

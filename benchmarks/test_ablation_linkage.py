@@ -1,0 +1,39 @@
+"""Ablation: single-link vs complete/average linkage for clustering.
+
+The paper chose single-link hierarchical clustering because it needs no
+preset cluster count.  This bench clusters the same outlier bodies under
+all three linkage criteria and checks they all isolate the block-page
+families (template-generated pages are tight clusters, so the criteria
+agree), while timing the default single-link path.
+"""
+
+from repro.core.discovery import label_cluster
+from repro.textutil.linkage import cluster_documents
+
+
+def _labelled_families(bodies, method):
+    result = cluster_documents(bodies, distance_threshold=0.4,
+                               method=method, min_df=2)
+    families = set()
+    for label in result.largest_first():
+        members = result.members(label)
+        if len(members) < 2:
+            continue
+        page_type = label_cluster(bodies[members[0]])
+        if page_type:
+            families.add(page_type)
+    return families
+
+
+def test_linkage_ablation(benchmark, top10k):
+    bodies = [o.sample.body for o in top10k.outliers
+              if o.sample.body is not None][:800]
+    assert bodies
+
+    single = benchmark.pedantic(_labelled_families, args=(bodies, "single"),
+                                rounds=1, iterations=1)
+    complete = _labelled_families(bodies, "complete")
+    average = _labelled_families(bodies, "average")
+    # All three isolate the same major block-page families.
+    assert single
+    assert single == complete == average

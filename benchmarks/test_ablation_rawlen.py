@@ -1,0 +1,31 @@
+"""Ablation: percentage vs raw length difference (§4.1.5).
+
+The paper found raw byte cutoffs "not as effective": percentages
+normalize page length, while raw differences excessively penalize long
+pages.  This bench compares the false-alarm behaviour of both modes on
+the same scan data.
+"""
+
+from repro.core.lengths import extract_outliers
+
+
+def test_raw_vs_percentage(benchmark, top10k):
+    reps = top10k.representatives
+
+    def both_modes():
+        pct = extract_outliers(top10k.initial, reps, cutoff=0.30)
+        raw = extract_outliers(top10k.initial, reps, raw_cutoff=20_000)
+        return pct, raw
+
+    pct, raw = benchmark.pedantic(both_modes, rounds=1, iterations=1)
+
+    def false_alarm_rate(outliers):
+        noise = sum(1 for o in outliers
+                    if o.sample.status == 200 and o.sample.body is None)
+        return noise / len(outliers) if outliers else 0.0
+
+    # Raw cutoffs flag large pages' natural variation (status-200, long
+    # bodies) at a higher rate than the percentage mode.
+    assert false_alarm_rate(raw) >= false_alarm_rate(pct)
+    # And the percentage mode still catches block pages.
+    assert any(o.sample.body is not None for o in pct)

@@ -1,0 +1,27 @@
+"""Ablation: agreement-threshold sweep around the paper's 80% (§4.1.4)."""
+
+from repro.core.metrics import score_confirmed_blocks
+from repro.core.resample import confirm_blocks
+
+
+def test_threshold_sweep(benchmark, world, top10k):
+    def sweep():
+        results = {}
+        for threshold in (0.5, 0.8, 0.95, 1.0):
+            confirmed = confirm_blocks(top10k.initial, top10k.resampled,
+                                       top10k.registry, threshold=threshold)
+            score = score_confirmed_blocks(world, confirmed,
+                                           top10k.safe_domains,
+                                           top10k.countries)
+            results[threshold] = (len(confirmed), score)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    counts = {t: n for t, (n, _) in results.items()}
+    # Monotone: stricter thresholds confirm fewer pairs.
+    assert counts[0.5] >= counts[0.8] >= counts[0.95] >= counts[1.0]
+    # The paper's 80% keeps precision high without collapsing recall.
+    score_80 = results[0.8][1]
+    score_100 = results[1.0][1]
+    assert score_80.precision >= 0.9
+    assert score_80.recall >= score_100.recall

@@ -1,0 +1,37 @@
+"""§7.3 extension — application-layer discrimination survey."""
+
+from repro.core.appdiff import run_appdiff_study
+from repro.proxynet.luminati import LuminatiClient
+
+
+def test_appdiff_survey(benchmark, world):
+    commerce = [d.name for d in world.population
+                if d.category in ("Shopping", "Travel", "Auctions",
+                                  "Personal Vehicles")
+                and not d.dead and not d.redirect_loop
+                and d.name not in world.policies][:40]
+    countries = world.registry.luminati_codes()[:12]
+    # Widen coverage with the countries ground truth actually degrades, so
+    # precision is measurable.
+    extra = set()
+    for name in commerce:
+        degradation = world.degradations.get(name)
+        if degradation:
+            extra |= set(list(degradation.remove_account_countries)[:2])
+            extra |= set(list(degradation.price_multipliers)[:2])
+    countries = sorted(set(countries) | {c for c in extra
+                                         if c in world.registry
+                                         and world.registry.get(c).luminati})
+    luminati = LuminatiClient(world)
+    result = benchmark.pedantic(run_appdiff_study,
+                                args=(luminati, commerce, countries),
+                                kwargs={"samples": 2},
+                                rounds=1, iterations=1)
+    # Every finding must be a genuine degradation (high precision),
+    # counting both sides of a price split (see appdiff.is_genuine).
+    from repro.core.appdiff import is_genuine
+    if result.findings:
+        genuine = sum(
+            1 for finding in result.findings
+            if is_genuine(world.degradations.get(finding.domain), finding))
+        assert genuine / len(result.findings) >= 0.8

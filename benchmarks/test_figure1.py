@@ -1,0 +1,14 @@
+"""Figure 1 — consistency CDF for various sample sizes."""
+
+from repro.analysis.figures import figure1, figure1_stat
+
+
+def test_figure1(benchmark, pools):
+    figure = benchmark(figure1, pools, sizes=(1, 3, 5, 10, 20), draws=300)
+    # Paper headline: at 20 samples only ~3.9% of draws fall below an 80%
+    # geoblocking rate; the synthetic number must stay small.
+    stat = figure1_stat(figure, size=20)
+    assert stat < 0.25
+    # Larger samples concentrate: the below-80% mass shrinks with size.
+    small = figure1_stat(figure, size=1)
+    assert stat <= small + 1e-9

@@ -1,0 +1,18 @@
+"""Figure 2 — relative sizes of block pages vs representative pages."""
+
+import statistics
+
+from repro.analysis.figures import figure2
+
+
+def test_figure2(benchmark, top10k):
+    figure = benchmark(
+        figure2, top10k.initial, top10k.top_blocking_countries[:20],
+        top10k.registry)
+    blocked = [x for x, _ in figure.series["blocked pages"]]
+    everything = [x for x, _ in figure.series["all pages"]]
+    assert blocked and everything
+    # Paper shape: block pages sit far to the right (much shorter than the
+    # representative page); ordinary samples cluster near zero difference.
+    assert statistics.median(blocked) > 0.5
+    assert statistics.median(everything) < 0.3

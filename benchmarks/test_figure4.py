@@ -1,0 +1,16 @@
+"""Figure 4 — CDF of geoblocking observation agreement."""
+
+from repro.analysis.figures import figure4
+
+
+def test_figure4(benchmark, top10k):
+    figure = benchmark(figure4, top10k)
+    agreements = [x for x, _ in figure.series["agreement"]]
+    assert agreements
+    # Paper shape: the vast majority of candidate pairs show the block
+    # page in >80% of probes.
+    high = sum(1 for a in agreements if a > 0.8)
+    assert high / len(agreements) > 0.5
+    # Confirmed pairs are all >= 80% by construction of the threshold.
+    for x, _ in figure.series["confirmed-only"]:
+        assert x >= 0.80

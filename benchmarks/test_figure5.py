@@ -1,0 +1,20 @@
+"""Figure 5 — Enterprise geoblock-rule activations over time."""
+
+from repro.analysis.figures import figure5
+
+
+def test_figure5(benchmark, cf_rules):
+    figure = benchmark(figure5, cf_rules)
+    # All five sanctioned-bundle series exist and are cumulative.
+    assert set(figure.series) == {"KP", "IR", "SY", "SD", "CU"}
+    finals = {}
+    for country, points in figure.series.items():
+        ys = [y for _, y in points]
+        assert ys == sorted(ys)
+        finals[country] = ys[-1] if ys else 0
+    # Paper shape: the bundle curves move together — ending counts are the
+    # same order of magnitude, with KP/IR on top.
+    top = max(finals, key=finals.get)
+    assert top in ("KP", "IR")
+    assert min(finals.values()) > 0
+    assert max(finals.values()) / max(1, min(finals.values())) < 12

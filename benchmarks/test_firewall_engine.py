@@ -1,0 +1,32 @@
+"""Throughput bench for the Firewall Access Rules engine."""
+
+from repro.datasets.firewall_rules import ZoneRuleSet
+from repro.netsim.asn import ASRegistry
+
+
+def test_rule_evaluation_throughput(benchmark, world):
+    asn_registry = ASRegistry.build_for_world(world.allocator,
+                                              seed=world.config.seed)
+    rules = ZoneRuleSet()
+    for country in ("IR", "SY", "SD", "CU", "KP"):
+        rules.add("block", "country", country)
+    rules.add("challenge", "country", "CN")
+    rules.add("whitelist", "ip", "10.0.0.5")
+    addresses = [world.residential_address(c)
+                 for c in ("US", "IR", "CN", "DE", "RU")]
+    state = {"i": 0}
+
+    def evaluate_one():
+        ip = addresses[state["i"] % len(addresses)]
+        state["i"] += 1
+        entry = world.geoip.lookup(ip)
+        record = asn_registry.lookup(ip)
+        return rules.evaluate(ip, country=entry.country if entry else None,
+                              asn=record.asn if record else None)
+
+    benchmark(evaluate_one)
+
+    # Sanity: decisions line up with the visitor's country.
+    entry = world.geoip.lookup(addresses[1])
+    if entry and entry.country == "IR":
+        assert rules.evaluate(addresses[1], country="IR") == "block"

@@ -1,0 +1,29 @@
+"""§5.1.1 — CDN customer identification over the full population."""
+
+from repro.core.identify import identify_by_ns, identify_cdn_customers
+from repro.datasets.alexa import AlexaList
+
+
+def test_identify_cdn_customers(benchmark, world):
+    domains = AlexaList(world.population).full()
+    population = benchmark.pedantic(identify_cdn_customers,
+                                    args=(world, domains),
+                                    rounds=1, iterations=1)
+    truth_cf = {d.name for d in world.population.by_provider("cloudflare")}
+    found_cf = population.of("cloudflare")
+    # Header identification finds (nearly) all live Cloudflare customers
+    # and nothing else.
+    assert found_cf <= truth_cf
+    assert len(found_cf) > len(truth_cf) * 0.85
+    # AppEngine netblock identification is exact.
+    truth_gae = {d.name for d in world.population.by_provider("appengine")}
+    assert population.of("appengine") == truth_gae
+
+
+def test_ns_identification_partial(benchmark, world):
+    domains = AlexaList(world.population).full()
+    ns = benchmark(identify_by_ns, world.dns, domains)
+    truth_ak = {d.name for d in world.population.by_provider("akamai")}
+    # The paper's §3.1 caveat: NS records expose only a fraction of
+    # Akamai customers.
+    assert ns["akamai"] < truth_ak

@@ -1,0 +1,39 @@
+"""Throughput benches for dataset and report persistence."""
+
+from repro.lumscan.serialize import dump_dataset, load_dataset
+
+
+def _dataset_from(top10k, limit=50_000):
+    # Reuse a slice of the real study dataset.
+    from repro.lumscan.records import ScanDataset
+    data = ScanDataset()
+    for index in range(min(limit, len(top10k.initial))):
+        sample = top10k.initial.row(index)
+        data.append(sample.domain, sample.country, sample.status,
+                    sample.length, sample.body, error=sample.error,
+                    interfered=sample.interfered)
+    return data
+
+
+def test_dump_throughput(benchmark, top10k, tmp_path_factory):
+    data = _dataset_from(top10k)
+    path = tmp_path_factory.mktemp("bench") / "scan.jsonl"
+    benchmark.pedantic(dump_dataset, args=(data, path), rounds=2, iterations=1)
+
+
+def test_load_throughput(benchmark, top10k, tmp_path_factory):
+    data = _dataset_from(top10k)
+    path = tmp_path_factory.mktemp("bench") / "scan.jsonl"
+    dump_dataset(data, path)
+    loaded = benchmark.pedantic(load_dataset, args=(path,),
+                                rounds=2, iterations=1)
+    assert len(loaded) == len(data)
+
+
+def test_svg_render_throughput(benchmark, top10k):
+    from repro.analysis.figures import figure2
+    from repro.analysis.svgplot import render_svg
+    figure = figure2(top10k.initial, top10k.top_blocking_countries[:20],
+                     top10k.registry)
+    svg = benchmark(render_svg, figure)
+    assert svg.startswith("<svg")

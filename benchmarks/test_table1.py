@@ -1,0 +1,15 @@
+"""Table 1 — pipeline data volumes at each step."""
+
+from repro.analysis.tables import table1
+
+
+def test_table1(benchmark, top10k, world):
+    table = benchmark(table1, top10k, len(world.population))
+    row = dict(zip(table.columns, table.rows[0]))
+    # Shape: safe list < initial list; samples = safe x countries x 3;
+    # clusters and CDNs discovered.
+    assert row["Safe Domains"] < row["Initial Domains"]
+    assert row["Initial Samples"] == (row["Safe Domains"]
+                                      * len(top10k.countries) * 3)
+    assert row["Clusters"] >= 3
+    assert row["Discovered CDNs"] >= 2

@@ -1,0 +1,12 @@
+"""Table 3 — most geoblocked categories by CDN (Top 10K)."""
+
+from repro.analysis.tables import table3
+
+
+def test_table3(benchmark, top10k, fortiguard):
+    table = benchmark(table3, top10k, fortiguard)
+    totals = table.rows[-1]
+    assert totals[0] == "Total"
+    # Row sums must be internally consistent.
+    for row in table.rows:
+        assert row[4] == row[1] + row[2] + row[3]

@@ -1,0 +1,13 @@
+"""Table 4 — geoblocked sites by category (Top 10K)."""
+
+from repro.analysis.tables import table4
+
+
+def test_table4(benchmark, top10k, fortiguard):
+    table = benchmark(table4, top10k, fortiguard)
+    total = table.rows[-1]
+    assert total[1] == len(top10k.safe_domains)
+    assert total[2] == len(top10k.confirmed_domains)
+    # Paper shape: overall blocked fraction is small (1.6% in Table 4).
+    rate = total[2] / total[1]
+    assert 0.0 < rate < 0.10

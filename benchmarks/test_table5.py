@@ -1,0 +1,13 @@
+"""Table 5 — top TLDs of geoblocking sites and most-blocked countries."""
+
+from repro.analysis.tables import table5
+
+
+def test_table5(benchmark, top10k):
+    table = benchmark(table5, top10k)
+    # Country side: sanctioned countries dominate the top ranks.
+    countries = [row[2] for row in table.rows[:4] if row[2]]
+    assert set(countries) & {"IR", "SY", "SD", "CU"}
+    # Totals row consistency.
+    assert table.rows[-1][1] == len(top10k.confirmed_domains)
+    assert table.rows[-1][3] == len(top10k.confirmed)

@@ -1,0 +1,20 @@
+"""Table 6 — geoblocking among Top 10K sites, by country and CDN."""
+
+from repro.analysis.tables import table6
+
+
+def test_table6(benchmark, top10k):
+    table = benchmark(table6, top10k)
+    rows = {row[0]: row for row in table.rows}
+    # Paper shape: AppEngine blocks only sanctioned countries; its column
+    # is zero outside IR/SY/SD/CU (KP unreachable via Luminati).
+    appengine_col = table.columns.index("AppEngine")
+    for country, row in rows.items():
+        if country in ("Total", "Other"):
+            continue
+        if row[appengine_col] > 0:
+            assert country in ("IR", "SY", "SD", "CU")
+    # Sanctioned countries lead the table when present.
+    ordered = [row[0] for row in table.rows if row[0] not in ("Total", "Other")]
+    if ordered:
+        assert ordered[0] in ("IR", "SY", "SD", "CU")

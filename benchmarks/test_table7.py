@@ -1,0 +1,25 @@
+"""Table 7 — geoblocking among Top 1M sites, by country and CDN."""
+
+from repro.analysis.tables import table7
+
+
+def test_table7(benchmark, top1m):
+    table = benchmark(table7, top1m)
+    ordered = [row[0] for row in table.rows if row[0] not in ("Total", "Other")]
+    # Paper shape: Iran/Sudan/Syria/Cuba lead by raw count.
+    if ordered:
+        assert ordered[0] in ("IR", "SY", "SD", "CU")
+    for row in table.rows:
+        assert row[4] == row[1] + row[2] + row[3]
+
+
+def test_provider_rates_shape(benchmark, top1m):
+    rates = benchmark(top1m.provider_rates)
+    # AppEngine customers geoblock at the highest rate (16.8% in §5.2.1);
+    # Cloudflare and CloudFront are in the low single digits.
+    def rate(provider):
+        blocked, tested = rates.get(provider, (0, 0))
+        return blocked / tested if tested else 0.0
+    assert rate("appengine") > rate("cloudflare")
+    assert rate("appengine") > rate("cloudfront")
+    assert 0.05 < rate("appengine") < 0.8

@@ -1,0 +1,14 @@
+"""Table 8 — geoblocked sites by top category (Top 1M sample)."""
+
+from repro.analysis.tables import table8
+
+
+def test_table8(benchmark, top1m, fortiguard):
+    table = benchmark(table8, top1m, fortiguard)
+    total = table.rows[-1]
+    assert total[0] == "Total"
+    assert total[1] == len(top1m.sampled_domains)
+    # Paper: 4.4% of sampled CDN customers geoblock somewhere; synthetic
+    # worlds land in the same regime.
+    rate = total[2] / total[1]
+    assert 0.005 < rate < 0.15

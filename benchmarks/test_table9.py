@@ -1,0 +1,26 @@
+"""Table 9 — Cloudflare country-rule rates by account tier."""
+
+import pytest
+
+from repro.analysis.tables import table9
+from repro.datasets.cloudflare_rules import BASELINE_TARGETS
+
+
+def test_table9(benchmark, cf_rules):
+    table = benchmark(table9, cf_rules)
+    assert table.rows[0][0] == "Baseline"
+    baselines = cf_rules.baseline_rates()
+    # Measured baselines track the published Table 9 row.
+    for tier, target in BASELINE_TARGETS.items():
+        assert baselines[tier] == pytest.approx(target, rel=0.25)
+    # Enterprise zones geoblock an order of magnitude more than free zones.
+    assert baselines["enterprise"] / baselines["free"] > 10
+
+
+def test_table9_country_ordering(benchmark, cf_rules):
+    rates = benchmark(cf_rules.country_rates)
+    enterprise_top = max(rates, key=lambda c: rates[c]["enterprise"])
+    free_top = max(rates, key=lambda c: rates[c]["free"])
+    # Paper: sanctions lead the enterprise column; CN/RU lead free.
+    assert enterprise_top in ("KP", "IR", "SY", "SD")
+    assert free_top in ("CN", "RU")

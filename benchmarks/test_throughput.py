@@ -1,0 +1,50 @@
+"""Micro-benchmarks for the simulation hot paths."""
+
+from repro.core.classify import classify_body
+from repro.httpsim.messages import Request
+from repro.httpsim.url import parse_url
+from repro.httpsim.useragent import browser_headers
+from repro.lumscan.scanner import Lumscan
+from repro.proxynet.luminati import LuminatiClient
+
+
+def test_world_fetch_throughput(benchmark, world):
+    domains = [d for d in world.population.top(50)
+               if not d.dead and not d.redirect_loop][:20]
+    requests = [Request(url=parse_url(d.url), headers=browser_headers())
+                for d in domains]
+    ip = world.residential_address("US")
+    state = {"i": 0}
+
+    def fetch_one():
+        request = requests[state["i"] % len(requests)]
+        state["i"] += 1
+        try:
+            return world.fetch(request, ip)
+        except Exception:
+            return None
+
+    benchmark(fetch_one)
+
+
+def test_lumscan_probe_throughput(benchmark, world):
+    scanner = Lumscan(LuminatiClient(world), seed=3)
+    domain = next(d for d in world.population
+                  if not d.dead and not d.redirect_loop
+                  and d.name not in world.policies and not d.censored_in)
+
+    benchmark(scanner.probe, domain.url, "US")
+
+
+def test_classify_throughput(benchmark, world, top10k):
+    bodies = [o.sample.body for o in top10k.outliers
+              if o.sample.body is not None][:50]
+    assert bodies
+    state = {"i": 0}
+
+    def classify_one():
+        body = bodies[state["i"] % len(bodies)]
+        state["i"] += 1
+        return classify_body(body, top10k.registry)
+
+    benchmark(classify_one)

@@ -1,0 +1,22 @@
+"""§7.3 extension — timeout-based geoblocking detection."""
+
+from repro.core.timeouts import run_timeout_study
+from repro.lumscan.scanner import Lumscan
+from repro.proxynet.luminati import LuminatiClient
+from repro.websim.policies import ACTION_DROP
+
+
+def test_timeout_study(benchmark, world, top10k):
+    scanner = Lumscan(LuminatiClient(world), seed=13)
+    study = benchmark.pedantic(run_timeout_study,
+                               args=(scanner, top10k.initial),
+                               rounds=1, iterations=1)
+    # Candidates exist (flaky pairs + genuine droppers); confirmation
+    # rejects the noise.
+    assert len(study.confirmed) <= len(study.candidates)
+    # Confirmed detections are dominated by genuine drop policies.
+    drop_truth = {name for name, policy in world.policies.items()
+                  if policy.action == ACTION_DROP}
+    if study.confirmed:
+        hits = sum(1 for c in study.confirmed if c.domain in drop_truth)
+        assert hits / len(study.confirmed) >= 0.5

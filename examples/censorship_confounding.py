@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario: how much does geoblocking confound censorship measurement?
+
+Section 7.1 of the paper shows that 9% of the Citizen Lab block list —
+the de-facto standard probe list for censorship measurement — returned a
+*CDN geoblock page* somewhere, so naive anomaly detection would blame
+nation-state censors for blocks that site owners configured themselves.
+
+This example generates a simulated OONI corpus over the synthetic
+Citizen Lab list and separates the three things that actually happened
+in each anomalous measurement: nation-state censorship, server-side
+geoblocking, and Tor-blocked control requests.
+
+Run:  python examples/censorship_confounding.py
+"""
+
+from repro import World, WorldConfig
+from repro.core.classify import classify_body
+from repro.core.identify import identify_by_ns
+from repro.datasets.citizenlab import CitizenLabList
+from repro.datasets.ooni import (
+    OONICorpus,
+    control_blocking_stats,
+    find_geoblock_confounding,
+)
+
+COUNTRIES = ["IR", "CN", "RU", "SY", "TR", "US", "DE", "BR", "NG", "IN"]
+
+
+def main() -> None:
+    world = World(WorldConfig.tiny())
+    citizenlab = CitizenLabList(world.population, world.taxonomy,
+                                seed=world.config.seed)
+    test_list = citizenlab.domains()
+    print(f"Citizen Lab test list: {len(test_list)} domains")
+
+    print(f"Generating OONI-style measurements from {len(COUNTRIES)} "
+          "countries (2 per pair)...")
+    corpus = OONICorpus.generate(world, test_list, countries=COUNTRIES,
+                                 measurements_per_pair=2,
+                                 seed=world.config.seed)
+    print(f"  {len(corpus)} measurements\n")
+
+    # Naive anomaly detection: local blocked, control fine.
+    anomalies = [m for m in corpus if m.local_blocked and not m.control_blocked]
+    print(f"Naive anomalies (local blocked, control ok): {len(anomalies)}")
+
+    # What were those anomalies, really?
+    censorship = geoblock = other = 0
+    for m in anomalies:
+        if m.local_body is None:
+            other += 1
+            continue
+        verdict = classify_body(m.local_body)
+        if verdict.kind == "censorship":
+            censorship += 1
+        elif verdict.kind == "explicit-geoblock":
+            geoblock += 1
+        else:
+            other += 1
+    print(f"  nation-state censorship pages: {censorship}")
+    print(f"  CDN geoblock pages:            {geoblock}  <- the confounder")
+    print(f"  other (timeouts, bot pages):   {other}\n")
+
+    findings = find_geoblock_confounding(corpus, len(test_list))
+    print(f"Domains on the list with >= 1 geoblock observation: "
+          f"{len(findings.geoblock_domains)} "
+          f"({findings.domain_fraction:.1%} of the list; paper: 9%)")
+    print(f"Geoblock observations span {len(findings.geoblock_countries)} "
+          "countries\n")
+
+    ns = identify_by_ns(world.dns, test_list)
+    cdn_domains = ns["cloudflare"] | ns["akamai"]
+    stats = control_blocking_stats(corpus, cdn_domains)
+    print("Control-request blocking on Akamai/Cloudflare-fronted domains:")
+    print(f"  control returned 403:                {stats.control_403}")
+    print(f"  local blocked while control ok:      "
+          f"{stats.local_blocked_control_ok}")
+    print(f"  block pages with a blocked control:  "
+          f"{stats.blockpages_with_blocked_control}")
+    print("\nAs in the paper, control blocking (largely Tor-exit blocking) "
+          "dwarfs\nthe local-only signal, so saved OONI reports cannot "
+          "distinguish\n'site down' from 'control blocked'.")
+
+
+if __name__ == "__main__":
+    main()

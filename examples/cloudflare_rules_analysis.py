@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: analyze a Cloudflare firewall-rules snapshot (§6).
+
+Reproduces the paper's validation analysis: given a July-2018 snapshot of
+country-scoped access rules, compute per-tier blocking baselines, the
+most-targeted countries per tier (Table 9), and the Figure 5 time series
+showing sanctioned countries' rules being activated together — including
+the April-2018 regression that briefly gave Free/Pro/Business zones the
+Enterprise-only country-block feature.
+
+Run:  python examples/cloudflare_rules_analysis.py
+"""
+
+import datetime
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table9
+from repro.datasets.cloudflare_rules import (
+    CloudflareRuleDataset,
+    SANCTIONS_BUNDLE,
+)
+
+
+def main() -> None:
+    print("Generating a 120,000-zone rules snapshot...")
+    dataset = CloudflareRuleDataset.generate(n_zones=120_000, seed=7)
+    print(f"  {len(dataset)} active country-scoped rules\n")
+
+    print(render_table(table9(dataset)))
+    print()
+
+    regression = datetime.date(2018, 4, 1)
+    recent = dataset.rules_activated_after(regression)
+    non_ent_blocks = sum(
+        1 for r in dataset
+        if r.tier != "enterprise" and r.action == "block")
+    print(f"Rules activated since the {regression} regression: {recent}")
+    print(f"Non-Enterprise *block* rules (only possible during the "
+          f"regression): {non_ent_blocks}\n")
+
+    print("Figure 5 — cumulative Enterprise block-rule activations:")
+    series = dataset.activation_series(SANCTIONS_BUNDLE, tier="enterprise",
+                                       action="block")
+    checkpoints = [datetime.date(2016, 12, 31), datetime.date(2017, 12, 31),
+                   datetime.date(2018, 7, 15)]
+    header = "country " + "".join(f"{d.isoformat():>14s}" for d in checkpoints)
+    print(f"  {header}")
+    for country, points in series.items():
+        row = f"  {country:7s}"
+        for checkpoint in checkpoints:
+            count = sum(1 for d, _ in points if d <= checkpoint)
+            row += f"{count:14d}"
+        print(row)
+    print("\nThe sanctioned-country curves move together: customers that "
+          "activate\nblocking for one sanctioned country activate the "
+          "whole set within days.")
+
+
+if __name__ == "__main__":
+    main()

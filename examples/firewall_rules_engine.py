@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario: express and evaluate Cloudflare-style access rules.
+
+Section 6 of the paper describes Firewall Access Rules: customers can
+whitelist, block, challenge, or JS-challenge visitors by IP address,
+country, or AS number.  This example builds a zone's rule set the way a
+site operator would — block sanctioned countries, challenge a risky ISP's
+AS, whitelist the office IP — and evaluates simulated visitors against
+it, cross-checking the country rules against the simulation's own
+ground-truth policy representation.
+
+Run:  python examples/firewall_rules_engine.py
+"""
+
+from repro import World, WorldConfig
+from repro.datasets.firewall_rules import (
+    ZoneRuleSet,
+    evaluate_visitor,
+    rules_from_geopolicy,
+)
+from repro.netsim.asn import ASRegistry
+
+
+def main() -> None:
+    world = World(WorldConfig.tiny())
+    asn_registry = ASRegistry.build_for_world(world.allocator,
+                                              seed=world.config.seed)
+
+    # A site operator's policy: sanctions compliance + abuse mitigation.
+    rules = ZoneRuleSet()
+    for country in ("IR", "SY", "SD", "CU", "KP"):
+        rules.add("block", "country", country)
+    rules.add("challenge", "country", "CN")
+    ru_isp = asn_registry.ases(country="RU", kind="isp")[0]
+    rules.add("block", "asn", f"AS{ru_isp.asn}")
+    office_ip = world.residential_address("IR")  # engineer travelling in IR
+    rules.add("whitelist", "ip", office_ip)
+
+    print("Zone rule set:")
+    for rule in rules.rules:
+        print(f"  {rule.action:12s} {rule.scope:8s} {rule.target}")
+    print()
+
+    visitors = [
+        ("US resident", world.residential_address("US")),
+        ("German resident", world.residential_address("DE")),
+        ("Iranian resident", world.residential_address("IR")),
+        (f"Whitelisted IP (in IR)", office_ip),
+        ("Chinese resident", world.residential_address("CN")),
+        (f"Customer of {ru_isp.name}", None),  # filled below
+    ]
+    # Find an address actually inside the blocked Russian ISP's AS.
+    for _ in range(50):
+        candidate = world.residential_address("RU")
+        record = asn_registry.lookup(candidate)
+        if record and record.asn == ru_isp.asn:
+            visitors[-1] = (f"Customer of {ru_isp.name}", candidate)
+            break
+
+    print("Visitor evaluation:")
+    for label, ip in visitors:
+        if ip is None:
+            continue
+        action = evaluate_visitor(rules, ip, world.geoip, asn_registry)
+        print(f"  {label:28s} -> {action or 'allow'}")
+
+    # Cross-check: a ground-truth geoblocking policy, expressed as rules,
+    # must make the same decisions the simulated CDN edge makes.
+    print("\nCross-checking a real policy against the rule engine:")
+    name, policy = next(
+        (n, p) for n, p in world.policies.items()
+        if p.is_geoblocking and p.enforcer == "cloudflare")
+    derived = rules_from_geopolicy(policy)
+    agreements = 0
+    checks = 0
+    for country in list(world.registry.luminati_codes())[:30]:
+        engine_says = derived.evaluate("0.0.0.0", country=country)
+        policy_says = "block" if policy.blocks(country, None, 0) else None
+        checks += 1
+        if (engine_says == "block") == (policy_says == "block"):
+            agreements += 1
+    print(f"  {name}: rule engine and GeoPolicy agree on "
+          f"{agreements}/{checks} countries")
+
+
+if __name__ == "__main__":
+    main()

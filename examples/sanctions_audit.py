@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scenario: what does a user in a sanctioned country actually see?
+
+The paper's motivating observation is that users in Iran, Syria, Sudan,
+and Cuba lose access to ordinary websites — shopping, news, even
+pbskids.com — because of blanket sanctions compliance.  This example
+audits the synthetic Top-500 from four sanctioned countries plus two
+controls, fetching each site the way a resident's browser would, and
+reports exactly what each country's users are denied, per provider.
+
+Run:  python examples/sanctions_audit.py
+"""
+
+from collections import Counter, defaultdict
+
+from repro import World, WorldConfig, classify_body
+from repro.httpsim.messages import Request
+from repro.httpsim.url import parse_url
+from repro.httpsim.useragent import browser_headers
+from repro.netsim.errors import FetchError
+
+AUDIT_COUNTRIES = ["IR", "SY", "SD", "CU", "US", "DE"]
+TOP_N = 500
+
+
+def audit_country(world: World, country: str, domains) -> Counter:
+    """Fetch every domain as a resident and tally the outcomes."""
+    outcomes: Counter = Counter()
+    ip = world.residential_address(country)
+    for domain in domains:
+        request = Request(url=parse_url(domain.url), headers=browser_headers())
+        try:
+            response = world.fetch(request, ip)
+            # Follow one redirect hop for the common http->https case.
+            hops = 0
+            while response.is_redirect and hops < 5:
+                request = request.with_url(request.url.resolve(response.location))
+                response = world.fetch(request, ip)
+                hops += 1
+        except FetchError:
+            outcomes["unreachable"] += 1
+            continue
+        verdict = classify_body(response.body)
+        if verdict.kind == "explicit-geoblock":
+            outcomes[f"geoblocked ({verdict.provider})"] += 1
+        elif verdict.kind == "censorship":
+            outcomes["censored (nation-state)"] += 1
+        elif verdict.kind == "challenge":
+            outcomes["challenged (captcha/js)"] += 1
+        elif verdict.is_blockpage:
+            outcomes["blocked (ambiguous page)"] += 1
+        else:
+            outcomes["accessible"] += 1
+    return outcomes
+
+
+def main() -> None:
+    world = World(WorldConfig.tiny())
+    domains = [d for d in world.population.top(TOP_N) if not d.dead]
+    print(f"Auditing {len(domains)} top-ranked sites from "
+          f"{len(AUDIT_COUNTRIES)} countries...\n")
+
+    denial_rates = {}
+    for country in AUDIT_COUNTRIES:
+        outcomes = audit_country(world, country, domains)
+        name = world.registry.get(country).name
+        total = sum(outcomes.values())
+        denied = total - outcomes["accessible"]
+        denial_rates[country] = denied / total
+        print(f"{name} ({country}):")
+        for outcome, count in outcomes.most_common():
+            print(f"  {outcome:28s} {count:4d}  ({count / total:.1%})")
+        print()
+
+    print("Denial rate ranking (highest first):")
+    for country, rate in sorted(denial_rates.items(), key=lambda kv: -kv[1]):
+        flag = "  <- sanctioned" if world.registry.get(country).sanctioned else ""
+        print(f"  {country}: {rate:.1%}{flag}")
+
+
+if __name__ == "__main__":
+    main()

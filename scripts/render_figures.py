@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Render Figures 1–5 to SVG files under figures/.
+
+Usage: python scripts/render_figures.py [--scale tiny|small] [--outdir figures]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.analysis.svgplot import save_svg
+from repro.websim.world import World, WorldConfig
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="tiny", choices=("nano", "tiny", "small"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--outdir", default="figures")
+    args = parser.parse_args()
+
+    factory = {"nano": WorldConfig.nano, "tiny": WorldConfig.tiny,
+               "small": WorldConfig.small}[args.scale]
+    world = World(factory(seed=args.seed))
+    suite = ExperimentSuite(world)
+    report = suite.run(include_top1m=False, include_vps=False,
+                       include_ooni=False)
+
+    os.makedirs(args.outdir, exist_ok=True)
+    for key, figure in sorted(report.figures.items()):
+        path = os.path.join(args.outdir, f"{key}.svg")
+        save_svg(figure, path)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Cross-seed stability check: do the paper's shapes hold for any seed?
+
+Runs the Top-10K suite (plus Cloudflare rules and pools) under several
+world seeds and reports which shape checks held everywhere.
+
+Usage: python scripts/seed_stability.py [--seeds 7 8 9] [--scale tiny]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.compare import compare_findings, numeric_drift
+from repro.analysis.experiments import ExperimentSuite
+from repro.websim.world import World, WorldConfig
+
+DRIFT_KEYS = (
+    "top10k.appengine_rate", "top10k.cloudflare_rate",
+    "top10k.length_recall", "top10k.gt_precision",
+    "table9.baseline_enterprise",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seeds", type=int, nargs="+", default=[7, 8, 9])
+    parser.add_argument("--scale", default="tiny",
+                        choices=("nano", "tiny", "small"))
+    args = parser.parse_args()
+
+    factory = {"nano": WorldConfig.nano, "tiny": WorldConfig.tiny,
+               "small": WorldConfig.small}[args.scale]
+    findings_by_seed = {}
+    for seed in args.seeds:
+        print(f"running suite for seed {seed}...", flush=True)
+        suite = ExperimentSuite(World(factory(seed=seed)))
+        report = suite.run(include_top1m=False, include_vps=False,
+                           include_ooni=False)
+        findings_by_seed[seed] = report.findings
+
+    stability = compare_findings(findings_by_seed)
+    print(f"\nseeds: {stability.seeds}")
+    for name in stability.stable_checks():
+        print(f"  [STABLE]   {name}")
+    for name in stability.unstable_checks():
+        print(f"  [UNSTABLE] {name}")
+    print(f"stability rate: {stability.stability_rate():.0%}\n")
+
+    print("numeric drift across seeds:")
+    for key, stats in numeric_drift(findings_by_seed, DRIFT_KEYS).items():
+        print(f"  {key}: min={stats['min']:.4f} max={stats['max']:.4f} "
+              f"spread={stats['spread']:.1%}")
+    return 0 if stability.stability_rate() >= 0.8 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""repro — reproduction of "403 Forbidden: A Global View of CDN Geoblocking".
+
+A simulation-backed reimplementation of the IMC 2018 measurement study:
+a synthetic Internet with CDN-enforced geoblocking policies, a Luminati-
+style residential proxy network, the Lumscan measurement tool, and the
+paper's full semi-automated detection pipeline (length outliers, TF-IDF
+clustering, fingerprint classification, resampling confirmation), plus
+builders for every table and figure in the evaluation.
+
+Quickstart::
+
+    from repro import World, WorldConfig, run_top10k_study
+
+    world = World(WorldConfig.tiny())
+    result = run_top10k_study(world)
+    print(result.confirmed_domains)
+"""
+
+from repro.core.classify import Verdict, classify_body, classify_sample
+from repro.core.fingerprints import Fingerprint, FingerprintRegistry
+from repro.core.pipeline import (
+    StudyConfig,
+    Top10KResult,
+    Top1MResult,
+    VPSExplorationResult,
+    run_top10k_study,
+    run_top1m_study,
+    run_vps_exploration,
+)
+from repro.lumscan import Lumscan, LumscanConfig, Sample, ScanDataset
+from repro.proxynet import LuminatiClient, VPSFleet
+from repro.websim import World, WorldConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "StudyConfig",
+    "LuminatiClient",
+    "VPSFleet",
+    "Lumscan",
+    "LumscanConfig",
+    "Sample",
+    "ScanDataset",
+    "Fingerprint",
+    "FingerprintRegistry",
+    "Verdict",
+    "classify_body",
+    "classify_sample",
+    "Top10KResult",
+    "Top1MResult",
+    "VPSExplorationResult",
+    "run_top10k_study",
+    "run_top1m_study",
+    "run_vps_exploration",
+    "__version__",
+]

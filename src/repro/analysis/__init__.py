@@ -1,0 +1,6 @@
+"""Analysis: reproduce every table and figure of the paper's evaluation."""
+
+from repro.analysis import figures, tables
+from repro.analysis.report import render_table
+
+__all__ = ["figures", "tables", "render_table"]

@@ -1,0 +1,70 @@
+"""JSON persistence for experiment reports.
+
+Paper-scale runs take tens of minutes; saving the resulting report lets
+later sessions re-render tables, validate shapes, or compare seeds
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.analysis.experiments import ExperimentReport
+from repro.analysis.figures import FigureData
+from repro.analysis.tables import TableData
+
+_FORMAT_VERSION = 1
+
+
+def save_report(report: ExperimentReport, path: Union[str, os.PathLike]) -> None:
+    """Serialize a report (tables, figures, findings) to JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "tables": {
+            key: {
+                "title": table.title,
+                "columns": table.columns,
+                "rows": table.rows,
+            }
+            for key, table in report.tables.items()
+        },
+        "figures": {
+            key: {
+                "title": figure.title,
+                "x_label": figure.x_label,
+                "y_label": figure.y_label,
+                "series": {name: list(points)
+                           for name, points in figure.series.items()},
+            }
+            for key, figure in report.figures.items()
+        },
+        "findings": dict(report.findings),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_report(path: Union[str, os.PathLike]) -> ExperimentReport:
+    """Load a report written by :func:`save_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported report format version: {version!r}")
+    report = ExperimentReport()
+    for key, data in payload.get("tables", {}).items():
+        report.tables[key] = TableData(
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=[list(row) for row in data["rows"]],
+        )
+    for key, data in payload.get("figures", {}).items():
+        figure = FigureData(title=data["title"], x_label=data["x_label"],
+                            y_label=data["y_label"])
+        for name, points in data.get("series", {}).items():
+            figure.add_series(name, [tuple(p) for p in points])
+        report.figures[key] = figure
+    report.findings.update(payload.get("findings", {}))
+    return report

@@ -1,0 +1,243 @@
+"""Command-line interface: run studies and emit the experiment report.
+
+Examples::
+
+    repro-geoblock run --scale tiny --out report.md
+    repro-geoblock top10k --scale small
+    repro-geoblock table 9
+    repro-geoblock figure 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.analysis.report import render_figure, render_table
+from repro.core.pipeline import StudyConfig, run_top10k_study
+from repro.websim.world import World, WorldConfig
+
+_SCALES = {
+    "nano": WorldConfig.nano,
+    "tiny": WorldConfig.tiny,
+    "small": WorldConfig.small,
+    "paper": WorldConfig.paper,
+}
+
+
+def _world(scale: str, seed: int) -> World:
+    try:
+        factory = _SCALES[scale]
+    except KeyError:
+        raise SystemExit(f"unknown scale {scale!r}; choose from {sorted(_SCALES)}")
+    return World(factory(seed=seed))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    world = _world(args.scale, args.seed)
+    suite = ExperimentSuite(world)
+    started = time.time()
+    report = suite.run(include_top1m=not args.no_top1m,
+                       include_vps=not args.no_vps,
+                       include_ooni=not args.no_ooni)
+    elapsed = time.time() - started
+    if args.save_json:
+        from repro.analysis.store import save_report
+        save_report(report, args.save_json)
+        print(f"report JSON written to {args.save_json}")
+    text = report.to_markdown() if args.markdown else report.to_text()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.out} ({elapsed:.1f}s)")
+    else:
+        print(text)
+        print(f"\n(completed in {elapsed:.1f}s)")
+    from repro.analysis.summary import executive_summary
+    print("\nExecutive summary:")
+    print(executive_summary(report.findings))
+    return 0
+
+
+def _cmd_top10k(args: argparse.Namespace) -> int:
+    world = _world(args.scale, args.seed)
+    result = run_top10k_study(world)
+    print(f"safe domains: {len(result.safe_domains)}")
+    print(f"confirmed instances: {len(result.confirmed)}")
+    print(f"unique geoblocking domains: {len(result.confirmed_domains)}")
+    print("top countries:", result.instances_by_country().most_common(10))
+    print("providers:", dict(result.instances_by_provider()))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    world = _world(args.scale, args.seed)
+    suite = ExperimentSuite(world)
+    number = args.number
+    needs_top1m = number in (7, 8)
+    report = suite.run(include_top1m=needs_top1m, include_vps=False,
+                       include_ooni=False, include_pools=False)
+    key = f"table{number}"
+    if key not in report.tables:
+        raise SystemExit(f"no such table: {number}")
+    print(render_table(report.tables[key]))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import render_validation, validate_findings
+
+    world = _world(args.scale, args.seed)
+    suite = ExperimentSuite(world)
+    report = suite.run()
+    results = validate_findings(report.findings)
+    print(render_validation(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_appdiff(args: argparse.Namespace) -> int:
+    from repro.core.appdiff import run_appdiff_study
+    from repro.proxynet.luminati import LuminatiClient
+
+    world = _world(args.scale, args.seed)
+    commerce = [d.name for d in world.population
+                if d.category in ("Shopping", "Travel", "Auctions",
+                                  "Personal Vehicles")
+                and not d.dead and not d.redirect_loop
+                and d.name not in world.policies][: args.domains]
+    countries = world.registry.luminati_codes()[: args.countries]
+    result = run_appdiff_study(LuminatiClient(world), commerce, countries)
+    print(f"surveyed {result.surveyed_domains} domains from "
+          f"{result.surveyed_countries} countries")
+    for finding in result.findings:
+        print(f"  {finding.kind:16s} {finding.domain:26s} "
+              f"{finding.country}  {finding.detail}")
+    if not result.findings:
+        print("  (no application-layer discrimination found)")
+    return 0
+
+
+def _cmd_timeouts(args: argparse.Namespace) -> int:
+    from repro.core.timeouts import run_timeout_study
+    from repro.lumscan.scanner import Lumscan
+    from repro.proxynet.luminati import LuminatiClient
+
+    world = _world(args.scale, args.seed)
+    luminati = LuminatiClient(world)
+    scanner = Lumscan(luminati, seed=args.seed)
+    urls = [d.url for d in world.population.top(args.domains) if not d.dead]
+    data = scanner.scan(urls, luminati.countries(), samples=3)
+    study = run_timeout_study(scanner, data)
+    print(f"candidates: {len(study.candidates)}  "
+          f"confirmed: {len(study.confirmed)}  "
+          f"unambiguous: {len(study.unambiguous)}")
+    for block in study.confirmed:
+        note = " (censoring country — unattributable)" \
+            if block.ambiguous_censorship else ""
+        print(f"  {block.domain:26s} {block.country}{note}")
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_findings
+
+    findings_by_seed = {}
+    for seed in args.seeds:
+        world = _world(args.scale, seed)
+        suite = ExperimentSuite(world)
+        report = suite.run(include_top1m=False, include_vps=False,
+                           include_ooni=False, include_pools=False)
+        findings_by_seed[seed] = report.findings
+    stability = compare_findings(findings_by_seed)
+    print(f"seeds: {stability.seeds}")
+    print(f"stable checks ({len(stability.stable_checks())}):")
+    for name in stability.stable_checks():
+        print(f"  [STABLE]   {name}")
+    for name in stability.unstable_checks():
+        print(f"  [UNSTABLE] {name}")
+    print(f"stability rate: {stability.stability_rate():.0%}")
+    return 0 if stability.stability_rate() >= 0.8 else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    world = _world(args.scale, args.seed)
+    suite = ExperimentSuite(world)
+    number = args.number
+    report = suite.run(include_top1m=False, include_vps=False,
+                       include_ooni=False, include_pools=number in (1, 3))
+    key = f"figure{number}"
+    if key not in report.figures:
+        raise SystemExit(f"no such figure: {number}")
+    print(render_figure(report.figures[key]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-geoblock",
+        description="Reproduce the IMC'18 CDN geoblocking study on a "
+                    "synthetic Internet.",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument("--scale", default="tiny", choices=sorted(_SCALES),
+                        help="world size preset")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the full experiment suite")
+    run.add_argument("--out", help="write the report to a file")
+    run.add_argument("--save-json", help="also save the report as JSON")
+    run.add_argument("--markdown", action="store_true",
+                     help="emit markdown instead of plain text")
+    run.add_argument("--no-top1m", action="store_true")
+    run.add_argument("--no-vps", action="store_true")
+    run.add_argument("--no-ooni", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    top10k = sub.add_parser("top10k", help="run only the Top-10K study")
+    top10k.set_defaults(func=_cmd_top10k)
+
+    table = sub.add_parser("table", help="print one reproduced table")
+    table.add_argument("number", type=int, choices=range(1, 10))
+    table.set_defaults(func=_cmd_table)
+
+    figure = sub.add_parser("figure", help="print one reproduced figure")
+    figure.add_argument("number", type=int, choices=range(1, 6))
+    figure.set_defaults(func=_cmd_figure)
+
+    validate = sub.add_parser(
+        "validate", help="run the suite and check the paper's shape claims")
+    validate.set_defaults(func=_cmd_validate)
+
+    appdiff = sub.add_parser(
+        "appdiff", help="survey commerce sites for feature/price differences")
+    appdiff.add_argument("--domains", type=int, default=60)
+    appdiff.add_argument("--countries", type=int, default=20)
+    appdiff.set_defaults(func=_cmd_appdiff)
+
+    timeouts = sub.add_parser(
+        "timeouts", help="detect timeout-style geoblocking")
+    timeouts.add_argument("--domains", type=int, default=400)
+    timeouts.set_defaults(func=_cmd_timeouts)
+
+    stability = sub.add_parser(
+        "stability", help="check shape stability across world seeds")
+    stability.add_argument("--seeds", type=int, nargs="+",
+                           default=[7, 8, 9])
+    stability.set_defaults(func=_cmd_stability)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the geoblocking detection pipeline.
+
+Submodules follow the paper's methodology sections:
+
+* :mod:`repro.core.fingerprints` — block-page signature matchers (§4.1.3)
+* :mod:`repro.core.classify` — response → verdict classification
+* :mod:`repro.core.lengths` — page-length outlier heuristic (§4.1.2)
+* :mod:`repro.core.discovery` — cluster-and-label signature discovery
+* :mod:`repro.core.resample` — 3/20-sample confirmation protocol (§4.1.4)
+* :mod:`repro.core.consistency` — non-explicit geoblocker analysis (§5.2.2)
+* :mod:`repro.core.identify` — CDN customer identification (§3.1, §5.1.1)
+* :mod:`repro.core.pipeline` — end-to-end Top-10K / Top-1M studies
+* :mod:`repro.core.metrics` — recall & false-negative evaluation (§4.1.5)
+"""
+
+from repro.core.appdiff import AppDiffResult, run_appdiff_study
+from repro.core.classify import Verdict, classify_body, classify_sample
+from repro.core.fingerprints import Fingerprint, FingerprintRegistry
+from repro.core.timeouts import TimeoutStudyResult, run_timeout_study
+from repro.core.pipeline import (
+    Top10KResult,
+    Top1MResult,
+    VPSExplorationResult,
+    run_top10k_study,
+    run_top1m_study,
+    run_vps_exploration,
+)
+
+__all__ = [
+    "AppDiffResult",
+    "run_appdiff_study",
+    "TimeoutStudyResult",
+    "run_timeout_study",
+    "Verdict",
+    "classify_body",
+    "classify_sample",
+    "Fingerprint",
+    "FingerprintRegistry",
+    "Top10KResult",
+    "Top1MResult",
+    "VPSExplorationResult",
+    "run_top10k_study",
+    "run_top1m_study",
+    "run_vps_exploration",
+]

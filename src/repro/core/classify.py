@@ -1,0 +1,78 @@
+"""Classify probe responses into the paper's verdict taxonomy.
+
+A sample is classified as one of:
+
+* ``explicit-geoblock`` — a page that states the block is geographic
+  (Cloudflare 1009, CloudFront country block, Baidu, AppEngine, Airbnb);
+* ``challenge`` — captcha or JS challenge (friction, not denial);
+* ``ambiguous-block`` — a block page also served for bot detection or
+  other errors (Akamai, Incapsula, SOASTA, nginx, Varnish);
+* ``censorship`` — a known nation-state injection page (e.g. the Iranian
+  iframe page), which the study must *not* count as geoblocking;
+* ``ok`` — an ordinary page; or
+* ``error`` — no HTTP response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.fingerprints import FingerprintRegistry, PAGE_PROVIDER
+from repro.lumscan.records import Sample
+from repro.websim import blockpages
+
+#: Markers of known nation-state censorship pages (not geoblocking).
+_CENSOR_MARKERS = (
+    "10.10.34.34",         # Iran's injected iframe target
+    "peyvandha.ir",        # Iran's block page portal
+)
+
+VERDICT_EXPLICIT = "explicit-geoblock"
+VERDICT_CHALLENGE = "challenge"
+VERDICT_AMBIGUOUS = "ambiguous-block"
+VERDICT_CENSORSHIP = "censorship"
+VERDICT_OK = "ok"
+VERDICT_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Classification outcome for one sample."""
+
+    kind: str                        # one of the VERDICT_* constants
+    page_type: Optional[str] = None  # fingerprint page type, when matched
+    provider: Optional[str] = None   # provider attribution for the page
+
+    @property
+    def is_blockpage(self) -> bool:
+        """True for explicit or ambiguous block pages."""
+        return self.kind in (VERDICT_EXPLICIT, VERDICT_AMBIGUOUS)
+
+
+def classify_body(body: Optional[str],
+                  registry: Optional[FingerprintRegistry] = None) -> Verdict:
+    """Classify a response body (no status/error context)."""
+    if body is None:
+        return Verdict(kind=VERDICT_OK)
+    for marker in _CENSOR_MARKERS:
+        if marker in body:
+            return Verdict(kind=VERDICT_CENSORSHIP)
+    reg = registry or FingerprintRegistry.default()
+    page_type = reg.match(body)
+    if page_type is None:
+        return Verdict(kind=VERDICT_OK)
+    provider = PAGE_PROVIDER.get(page_type)
+    if page_type in blockpages.EXPLICIT_GEOBLOCK_TYPES:
+        return Verdict(kind=VERDICT_EXPLICIT, page_type=page_type, provider=provider)
+    if page_type in blockpages.CHALLENGE_TYPES:
+        return Verdict(kind=VERDICT_CHALLENGE, page_type=page_type, provider=provider)
+    return Verdict(kind=VERDICT_AMBIGUOUS, page_type=page_type, provider=provider)
+
+
+def classify_sample(sample: Sample,
+                    registry: Optional[FingerprintRegistry] = None) -> Verdict:
+    """Classify a scan sample, folding in probe failures."""
+    if not sample.ok:
+        return Verdict(kind=VERDICT_ERROR)
+    return classify_body(sample.body, registry)

@@ -1,0 +1,160 @@
+"""Block-page fingerprints: the signatures extracted in §4.1.3.
+
+A :class:`Fingerprint` is a conjunction of substring markers that must all
+appear in a page body.  Markers are chosen to be invariant across
+per-instance noise (Ray IDs, incident numbers, hostnames) — exact-match
+fingerprints would fail, which is the point of the signature-extraction
+step in the paper.
+
+The registry covers the 14 page types of Table 2 and knows which ones
+*explicitly* signal geoblocking, which are challenges, and which are
+ambiguous (also served for bot detection or other errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.websim import blockpages
+
+#: Attribution of each page type to the provider whose table column it
+#: lands in (Tables 3, 6, 7).
+PAGE_PROVIDER = {
+    blockpages.AKAMAI_BLOCK: "akamai",
+    blockpages.CLOUDFLARE_BLOCK: "cloudflare",
+    blockpages.APPENGINE_BLOCK: "appengine",
+    blockpages.CLOUDFLARE_CAPTCHA: "cloudflare",
+    blockpages.CLOUDFLARE_JS: "cloudflare",
+    blockpages.CLOUDFRONT_BLOCK: "cloudfront",
+    blockpages.BAIDU_CAPTCHA: "baidu",
+    blockpages.BAIDU_BLOCK: "baidu",
+    blockpages.INCAPSULA_BLOCK: "incapsula",
+    blockpages.SOASTA_BLOCK: "soasta",
+    blockpages.AIRBNB_BLOCK: "brand",
+    blockpages.DISTIL_CAPTCHA: "distil",
+    blockpages.NGINX_403: "origin",
+    blockpages.VARNISH_403: "origin",
+}
+
+#: Human-readable names matching the rows of Table 2.
+PAGE_DISPLAY_NAMES = {
+    blockpages.AKAMAI_BLOCK: "Akamai",
+    blockpages.CLOUDFLARE_BLOCK: "Cloudflare",
+    blockpages.APPENGINE_BLOCK: "AppEngine",
+    blockpages.CLOUDFLARE_CAPTCHA: "Cloudflare Captcha",
+    blockpages.CLOUDFLARE_JS: "Cloudflare JavaScript",
+    blockpages.CLOUDFRONT_BLOCK: "Amazon CloudFront",
+    blockpages.BAIDU_CAPTCHA: "Baidu Captcha",
+    blockpages.BAIDU_BLOCK: "Baidu",
+    blockpages.INCAPSULA_BLOCK: "Incapsula",
+    blockpages.SOASTA_BLOCK: "Soasta",
+    blockpages.AIRBNB_BLOCK: "Airbnb",
+    blockpages.DISTIL_CAPTCHA: "Distil Captcha",
+    blockpages.NGINX_403: "nginx",
+    blockpages.VARNISH_403: "Varnish",
+}
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A conjunction-of-markers signature for one page type."""
+
+    page_type: str
+    markers: Tuple[str, ...]
+    priority: int = 0        # lower checks first (more specific signatures)
+
+    def matches(self, body: str) -> bool:
+        """True when every marker appears in the body."""
+        return all(marker in body for marker in self.markers)
+
+
+_DEFAULT_FINGERPRINTS: Sequence[Fingerprint] = (
+    # Specific templates first; generic stock pages last.
+    Fingerprint(blockpages.AIRBNB_BLOCK,
+                ("Crimea, Iran, Syria, and North Korea",), priority=0),
+    Fingerprint(blockpages.CLOUDFRONT_BLOCK,
+                ("The Amazon CloudFront distribution is configured to block "
+                 "access from your country",), priority=0),
+    Fingerprint(blockpages.APPENGINE_BLOCK,
+                ("this service is not available in your country",
+                 "Google App Engine"), priority=0),
+    Fingerprint(blockpages.BAIDU_BLOCK,
+                ("has banned the country or region", "Yunjiasu"), priority=1),
+    Fingerprint(blockpages.CLOUDFLARE_BLOCK,
+                ("has banned the country or region", "Cloudflare Ray ID"),
+                priority=2),
+    Fingerprint(blockpages.BAIDU_CAPTCHA,
+                ("yjs-captcha",), priority=1),
+    Fingerprint(blockpages.CLOUDFLARE_CAPTCHA,
+                ("Attention Required!", "complete the security check"),
+                priority=2),
+    Fingerprint(blockpages.CLOUDFLARE_JS,
+                ("Checking your browser before accessing",), priority=2),
+    Fingerprint(blockpages.DISTIL_CAPTCHA,
+                ("Pardon Our Interruption",), priority=2),
+    Fingerprint(blockpages.INCAPSULA_BLOCK,
+                ("Incapsula incident ID",), priority=3),
+    Fingerprint(blockpages.SOASTA_BLOCK,
+                ("SOASTA traffic manager",), priority=3),
+    Fingerprint(blockpages.AKAMAI_BLOCK,
+                ("Access Denied", "You don't have permission to access"),
+                priority=4),
+    Fingerprint(blockpages.VARNISH_403,
+                ("Guru Meditation", "Varnish cache server"), priority=5),
+    Fingerprint(blockpages.NGINX_403,
+                ("<title>403 Forbidden</title>", "<center>nginx</center>"),
+                priority=6),
+)
+
+
+class FingerprintRegistry:
+    """An ordered collection of fingerprints with lookup helpers."""
+
+    def __init__(self, fingerprints: Optional[Sequence[Fingerprint]] = None) -> None:
+        fps = list(fingerprints if fingerprints is not None else _DEFAULT_FINGERPRINTS)
+        fps.sort(key=lambda f: f.priority)
+        self._fingerprints = fps
+        self._by_type: Dict[str, Fingerprint] = {f.page_type: f for f in fps}
+
+    @classmethod
+    def default(cls) -> "FingerprintRegistry":
+        """The curated 14-signature registry of §4.1.3."""
+        return cls()
+
+    def __iter__(self) -> Iterator[Fingerprint]:
+        return iter(self._fingerprints)
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def __contains__(self, page_type: object) -> bool:
+        return page_type in self._by_type
+
+    def get(self, page_type: str) -> Fingerprint:
+        """Fingerprint for a page type; raises KeyError when unknown."""
+        return self._by_type[page_type]
+
+    def match(self, body: Optional[str]) -> Optional[str]:
+        """Return the page type of the first matching fingerprint, if any."""
+        if not body:
+            return None
+        for fingerprint in self._fingerprints:
+            if fingerprint.matches(body):
+                return fingerprint.page_type
+        return None
+
+    def page_types(self) -> List[str]:
+        """All registered page types in priority order."""
+        return [f.page_type for f in self._fingerprints]
+
+    def explicit_types(self) -> List[str]:
+        """Registered page types that explicitly signal geoblocking."""
+        return [t for t in self.page_types()
+                if t in blockpages.EXPLICIT_GEOBLOCK_TYPES]
+
+    def with_fingerprint(self, fingerprint: Fingerprint) -> "FingerprintRegistry":
+        """A new registry with one fingerprint added/replaced."""
+        fps = [f for f in self._fingerprints if f.page_type != fingerprint.page_type]
+        fps.append(fingerprint)
+        return FingerprintRegistry(fps)

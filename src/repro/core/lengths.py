@@ -1,0 +1,107 @@
+"""The page-length outlier heuristic (§4.1.2, evaluated in §4.1.5).
+
+For each domain, the *representative length* is the longest page observed
+across a set of reference countries (the paper uses the top-20 geoblocking
+countries from the exploratory study to keep clustering tractable).  Any
+sample whose body is more than ``cutoff`` (default 30%) shorter than the
+representative is extracted as a candidate block page.
+
+The paper notes that *percentage* differences work where raw byte
+differences do not (raw cutoffs excessively penalize long pages); both are
+implemented so the ablation benchmark can reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lumscan.records import Sample, ScanDataset
+
+DEFAULT_CUTOFF = 0.30
+
+
+def representative_lengths(dataset: ScanDataset,
+                           reference_countries: Optional[Sequence[str]] = None
+                           ) -> Dict[str, int]:
+    """Longest observed response length per domain.
+
+    When ``reference_countries`` is given, only samples from those
+    countries contribute (the paper's top-20 trick); otherwise all
+    countries do.  All HTTP responses count — a domain that only ever
+    returns a block page has that page as its representative, which is
+    why recall is imperfect (Table 2).
+    """
+    allowed = set(reference_countries) if reference_countries is not None else None
+    reps: Dict[str, int] = {}
+    for sample in dataset:
+        if not sample.ok:
+            continue
+        if allowed is not None and sample.country not in allowed:
+            continue
+        current = reps.get(sample.domain, -1)
+        if sample.length > current:
+            reps[sample.domain] = sample.length
+    return reps
+
+
+@dataclass(frozen=True)
+class Outlier:
+    """One candidate block page flagged by the heuristic."""
+
+    index: int          # row index in the dataset
+    sample: Sample
+    representative: int
+    relative_difference: float   # (rep - len) / rep, in [0, 1]
+
+
+def extract_outliers(dataset: ScanDataset, representatives: Dict[str, int],
+                     cutoff: float = DEFAULT_CUTOFF,
+                     raw_cutoff: Optional[int] = None) -> List[Outlier]:
+    """Samples shorter than the representative by more than the cutoff.
+
+    ``cutoff`` is the fractional threshold (0.30 = "30% shorter").  When
+    ``raw_cutoff`` is given instead, an absolute byte difference is used
+    (the ablation mode the paper found ineffective).
+    """
+    if not 0.0 < cutoff < 1.0:
+        raise ValueError("cutoff must be in (0, 1)")
+    outliers: List[Outlier] = []
+    for index in range(len(dataset)):
+        sample = dataset.row(index)
+        if not sample.ok:
+            continue
+        rep = representatives.get(sample.domain)
+        if rep is None or rep <= 0:
+            continue
+        difference = rep - sample.length
+        relative = difference / rep
+        if raw_cutoff is not None:
+            flagged = difference > raw_cutoff
+        else:
+            flagged = relative > cutoff
+        if flagged:
+            outliers.append(Outlier(index=index, sample=sample,
+                                    representative=rep,
+                                    relative_difference=relative))
+    return outliers
+
+
+def relative_differences(dataset: ScanDataset,
+                         representatives: Dict[str, int]
+                         ) -> List[Tuple[float, bool]]:
+    """(relative difference, has-body) for every valid sample — Figure 2.
+
+    The boolean marks samples whose body was retained (block-page-sized),
+    which the figure uses to split 'blocked' from ordinary samples once
+    fingerprints have been applied by the caller.
+    """
+    out: List[Tuple[float, bool]] = []
+    for sample in dataset:
+        if not sample.ok:
+            continue
+        rep = representatives.get(sample.domain)
+        if rep is None or rep <= 0:
+            continue
+        out.append(((rep - sample.length) / rep, sample.body is not None))
+    return out

@@ -1,0 +1,515 @@
+"""End-to-end studies: §3.1 exploration, §4 Top-10K, §5 Top-1M.
+
+Each study function drives only *measurement-visible* interfaces — DNS,
+HTTP fetches through vantage points, the categorization service, and the
+probe lists.  Ground truth (``world.policies``) is never consulted; the
+evaluation helpers in :mod:`repro.core.metrics` do that separately.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+logger = logging.getLogger("repro.pipeline")
+
+from repro.core.classify import (
+    VERDICT_AMBIGUOUS,
+    VERDICT_CHALLENGE,
+    VERDICT_EXPLICIT,
+    classify_body,
+    classify_sample,
+)
+from repro.core.consistency import DomainConsistency, domain_consistency
+from repro.core.discovery import DiscoveredCluster, discover, registry_from_discovery
+from repro.core.fingerprints import FingerprintRegistry
+from repro.core.identify import CDNPopulation, identify_by_ns, identify_cdn_customers
+from repro.core.lengths import Outlier, extract_outliers, representative_lengths
+from repro.core.resample import (
+    ConfirmedBlock,
+    block_rates,
+    confirm_blocks,
+    find_candidate_pairs,
+)
+from repro.datasets.alexa import AlexaList
+from repro.datasets.citizenlab import CitizenLabList
+from repro.datasets.fortiguard import FortiGuardClient
+from repro.lumscan.records import ScanDataset
+from repro.lumscan.scanner import Lumscan, LumscanConfig
+from repro.proxynet.luminati import LuminatiClient
+from repro.proxynet.vps import VPSFleet
+from repro.util.rng import derive_rng
+from repro.websim import blockpages
+from repro.websim.world import World
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Parameters of the measurement methodology (paper defaults)."""
+
+    samples_initial: int = 3          # baseline samples per pair
+    samples_confirm: int = 20         # confirmation samples per pair
+    agreement_threshold: float = 0.80
+    length_cutoff: float = 0.30
+    top_k_countries: int = 20         # reference countries for lengths
+    ranking_domains: int = 250        # domains used to rank countries
+    ranking_samples: int = 2
+    cluster_distance: float = 0.40
+    min_cluster_size: int = 1
+    sample_fraction_top1m: float = 0.85  # §5.1.2 sampling of safe customers
+    seed: int = 0
+
+
+# ===================================================================== #
+# §4 — Alexa Top 10K
+
+
+@dataclass
+class Top10KResult:
+    """Everything the Top-10K study produced."""
+
+    countries: List[str]
+    safe_domains: List[str]
+    initial: ScanDataset
+    top_blocking_countries: List[str]
+    representatives: Dict[str, int]
+    outliers: List[Outlier]
+    clusters: List[DiscoveredCluster]
+    registry: FingerprintRegistry
+    candidates: Dict[Tuple[str, str], str]
+    resampled: ScanDataset
+    confirmed: List[ConfirmedBlock]
+    other_page_counts: Counter = field(default_factory=Counter)
+    luminati_refused_domains: List[str] = field(default_factory=list)
+    never_responding_domains: List[str] = field(default_factory=list)
+
+    @property
+    def confirmed_domains(self) -> List[str]:
+        """Unique domains confirmed geoblocking in >= 1 country."""
+        return sorted({c.domain for c in self.confirmed})
+
+    @property
+    def confirmed_countries(self) -> List[str]:
+        """Countries with >= 1 confirmed geoblocked domain."""
+        return sorted({c.country for c in self.confirmed})
+
+    @property
+    def http_451_observations(self) -> int:
+        """Samples with RFC 7725 status 451 (the paper saw exactly two)."""
+        return self.initial.count_status(451)
+
+    def instances_by_country(self) -> Counter:
+        """Confirmed instances per country (Table 5 right / Table 6)."""
+        return Counter(c.country for c in self.confirmed)
+
+    def instances_by_provider(self) -> Counter:
+        """Confirmed instances per provider."""
+        return Counter(c.provider for c in self.confirmed)
+
+
+def build_safe_list(world: World, domains: Sequence[str],
+                    fortiguard: Optional[FortiGuardClient] = None,
+                    citizenlab: Optional[CitizenLabList] = None) -> List[str]:
+    """§3.3 safety filtering: drop risky categories and listed domains."""
+    fg = fortiguard or FortiGuardClient(world.population, world.taxonomy,
+                                        seed=world.config.seed)
+    cl = citizenlab or CitizenLabList(world.population, world.taxonomy,
+                                      seed=world.config.seed)
+    return cl.filter_out(fg.filter_safe(domains))
+
+
+def rank_countries_by_blocking(world: World, lumscan: Lumscan,
+                               countries: Sequence[str],
+                               config: StudyConfig) -> List[str]:
+    """Rank countries by observed Akamai/Cloudflare block pages.
+
+    Stands in for the paper's exploratory ranking scan (§4.1.2): it probed
+    the VPS study's Akamai/Cloudflare customer list from every country and
+    ranked countries *by the number of Akamai and Cloudflare block pages
+    seen* — those two page types were already known from the exploration.
+    Challenge pages (captchas) and miscellaneous 403s do not count.
+    """
+    alexa = AlexaList(world.population)
+    ns = identify_by_ns(world.dns, alexa.top10k())
+    cdn_domains = sorted(ns["cloudflare"] | ns["akamai"])
+    rng = derive_rng(config.seed, "country-ranking")
+    if len(cdn_domains) > config.ranking_domains:
+        cdn_domains = sorted(rng.sample(cdn_domains, config.ranking_domains))
+    urls = [f"http://{d}/" for d in cdn_domains]
+    data = lumscan.scan(urls, countries, samples=config.ranking_samples)
+    known = FingerprintRegistry.default()
+    counts: Counter = Counter()
+    for sample in data:
+        if sample.status != 403 or sample.body is None:
+            continue
+        verdict = classify_sample(sample, known)
+        if (verdict.is_blockpage
+                and verdict.provider in ("cloudflare", "akamai")):
+            counts[sample.country] += 1
+    ranked = [c for c, _ in counts.most_common()]
+    # Countries with no block pages keep their original order at the tail.
+    ranked.extend(c for c in countries if c not in counts)
+    return ranked
+
+
+def run_top10k_study(world: World,
+                     luminati: Optional[LuminatiClient] = None,
+                     config: Optional[StudyConfig] = None,
+                     lumscan_config: Optional[LumscanConfig] = None,
+                     catalog: Optional[FingerprintRegistry] = None) -> Top10KResult:
+    """The full §4 methodology over the synthetic Top 10K."""
+    cfg = config or StudyConfig()
+    lum = luminati or LuminatiClient(world)
+    scanner = Lumscan(lum, config=lumscan_config, seed=cfg.seed)
+    alexa = AlexaList(world.population)
+    countries = lum.countries()
+
+    safe_domains = build_safe_list(world, alexa.top10k())
+    urls = [f"http://{d}/" for d in safe_domains]
+    logger.info("top10k: %d safe domains, %d countries",
+                len(safe_domains), len(countries))
+
+    # Rank countries first (the exploratory scan the paper ran earlier).
+    top_blocking = rank_countries_by_blocking(world, scanner, countries, cfg)
+    reference_countries = top_blocking[: cfg.top_k_countries]
+    logger.info("top10k: country ranking done; top5=%s", top_blocking[:5])
+
+    # Initial snapshot: 3 samples per pair, every country.
+    initial = scanner.scan(urls, countries, samples=cfg.samples_initial)
+    logger.info("top10k: initial scan complete (%d samples)", len(initial))
+
+    refused = sorted({s.domain for s in initial if s.error == "luminati-refusal"})
+    error_by_domain = initial.error_rate_by_domain()
+    never = sorted(d for d, rate in error_by_domain.items() if rate >= 1.0)
+
+    # Length-outlier extraction among the top blocking countries.
+    representatives = representative_lengths(initial, reference_countries)
+    reference_set = set(reference_countries)
+    outliers = [o for o in extract_outliers(initial, representatives,
+                                            cutoff=cfg.length_cutoff)
+                if o.sample.country in reference_set]
+
+    # Cluster candidate bodies and extract signatures.
+    bodies = [o.sample.body for o in outliers if o.sample.body is not None]
+    background = _background_bodies(initial)
+    logger.info("top10k: %d outliers, %d candidate bodies to cluster",
+                len(outliers), len(bodies))
+    clusters = discover(bodies, background,
+                        distance_threshold=cfg.cluster_distance,
+                        min_cluster_size=cfg.min_cluster_size,
+                        catalog=catalog)
+    registry = registry_from_discovery(
+        clusters, base=catalog or FingerprintRegistry.default())
+    logger.info("top10k: %d clusters discovered", len(clusters))
+
+    # Search the entire dataset for explicit block pages and confirm.
+    candidates = find_candidate_pairs(initial, registry, explicit_only=True)
+    logger.info("top10k: %d candidate pairs; resampling %dx",
+                len(candidates), cfg.samples_confirm)
+    resampled = scanner.resample(sorted(candidates), cfg.samples_confirm, epoch=1)
+    confirmed = confirm_blocks(initial, resampled, registry,
+                               threshold=cfg.agreement_threshold)
+    logger.info("top10k: %d confirmed instances", len(confirmed))
+
+    other_pages = _count_non_explicit_pages(initial, registry)
+
+    return Top10KResult(
+        countries=list(countries),
+        safe_domains=safe_domains,
+        initial=initial,
+        top_blocking_countries=top_blocking,
+        representatives=representatives,
+        outliers=outliers,
+        clusters=clusters,
+        registry=registry,
+        candidates=candidates,
+        resampled=resampled,
+        confirmed=confirmed,
+        other_page_counts=other_pages,
+        luminati_refused_domains=refused,
+        never_responding_domains=never,
+    )
+
+
+def _background_bodies(dataset: ScanDataset, limit: int = 200) -> List[str]:
+    """Ordinary-page bodies used as background for signature extraction."""
+    bodies: List[str] = []
+    for sample in dataset:
+        if sample.status == 200 and sample.body is not None:
+            bodies.append(sample.body)
+            if len(bodies) >= limit:
+                break
+    return bodies
+
+
+def _count_non_explicit_pages(dataset: ScanDataset,
+                              registry: FingerprintRegistry) -> Counter:
+    """Counts of captchas/challenges/ambiguous pages (§4.2.2's 200,417)."""
+    counts: Counter = Counter()
+    for sample in dataset:
+        if sample.body is None or not sample.ok:
+            continue
+        verdict = classify_sample(sample, registry)
+        if verdict.kind in (VERDICT_CHALLENGE, VERDICT_AMBIGUOUS):
+            counts[verdict.page_type] += 1
+    return counts
+
+
+# ===================================================================== #
+# §5 — Alexa Top 1M
+
+
+@dataclass
+class Top1MResult:
+    """Everything the Top-1M study produced."""
+
+    population: CDNPopulation
+    safe_customers: List[str]
+    sampled_domains: List[str]
+    countries: List[str]
+    initial: ScanDataset
+    resampled_explicit: ScanDataset
+    confirmed: List[ConfirmedBlock]
+    resampled_nonexplicit: ScanDataset
+    consistency: Dict[str, DomainConsistency]
+    nonexplicit_flagged: Dict[str, List[str]]  # provider -> flagged domains
+
+    @property
+    def confirmed_domains(self) -> List[str]:
+        """Unique explicit-geoblocking domains."""
+        return sorted({c.domain for c in self.confirmed})
+
+    def instances_by_country(self) -> Counter:
+        """Confirmed explicit instances per country (Table 7)."""
+        return Counter(c.country for c in self.confirmed)
+
+    def provider_rates(self) -> Dict[str, Tuple[int, int]]:
+        """Per provider: (geoblocking domains, sampled customers)."""
+        blocked_by = {}
+        for c in self.confirmed:
+            blocked_by.setdefault(c.provider, set()).add(c.domain)
+        sampled = set(self.sampled_domains)
+        out: Dict[str, Tuple[int, int]] = {}
+        for provider, customers in self.population.customers.items():
+            tested = customers & sampled
+            out[provider] = (len(blocked_by.get(provider, ())), len(tested))
+        return out
+
+    def confirmed_nonexplicit(self) -> Dict[str, List[str]]:
+        """Provider -> confirmed non-explicit geoblocking domains."""
+        out: Dict[str, List[str]] = {}
+        for domain, record in sorted(self.consistency.items()):
+            if record.is_confirmed_geoblocker:
+                provider = {"akamai": "akamai", "incapsula": "incapsula"}.get(
+                    record.page_type, record.page_type)
+                out.setdefault(provider, []).append(domain)
+        return out
+
+
+_EXPLICIT_PROVIDERS = ("cloudflare", "cloudfront", "appengine")
+_NONEXPLICIT_PROVIDERS = ("akamai", "incapsula")
+
+
+def run_top1m_study(world: World,
+                    luminati: Optional[LuminatiClient] = None,
+                    config: Optional[StudyConfig] = None,
+                    registry: Optional[FingerprintRegistry] = None) -> Top1MResult:
+    """The full §5 methodology over the synthetic Top 1M."""
+    cfg = config or StudyConfig()
+    lum = luminati or LuminatiClient(world)
+    scanner = Lumscan(lum, seed=cfg.seed)
+    reg = registry or FingerprintRegistry.default()
+    alexa = AlexaList(world.population)
+    countries = lum.countries()
+
+    # Identify the CDN customer population (§5.1.1).
+    population = identify_cdn_customers(world, alexa.full())
+    customers = sorted(population.all_domains())
+    logger.info("top1m: %d CDN customers identified", len(customers))
+
+    # Safety filter + sample (§5.1.2).
+    safe_customers = build_safe_list(world, customers)
+    sampled = alexa.sample(safe_customers, cfg.sample_fraction_top1m,
+                           seed=cfg.seed)
+    urls = [f"http://{d}/" for d in sampled]
+    logger.info("top1m: %d safe customers, %d sampled",
+                len(safe_customers), len(sampled))
+
+    initial = scanner.scan(urls, countries, samples=cfg.samples_initial)
+    logger.info("top1m: initial scan complete (%d samples)", len(initial))
+
+    # Explicit geoblockers: resample observed pairs 20x.
+    explicit_candidates = find_candidate_pairs(initial, reg,
+                                               explicit_only=True)
+    resampled_explicit = scanner.resample(sorted(explicit_candidates),
+                                          cfg.samples_confirm, epoch=1)
+    confirmed = confirm_blocks(initial, resampled_explicit, reg,
+                               threshold=cfg.agreement_threshold)
+
+    # Non-explicit (Akamai/Incapsula): any domain with a block page
+    # anywhere is resampled 20x in *every* country (§5.1.2).
+    flagged: Dict[str, List[str]] = {p: [] for p in _NONEXPLICIT_PROVIDERS}
+    flagged_domains: Set[str] = set()
+    for sample in initial:
+        if sample.body is None or not sample.ok:
+            continue
+        verdict = classify_sample(sample, reg)
+        if verdict.kind == VERDICT_AMBIGUOUS and verdict.provider in flagged:
+            if sample.domain not in flagged_domains:
+                flagged[verdict.provider].append(sample.domain)
+                flagged_domains.add(sample.domain)
+    nonexplicit_pairs = [(d, c) for d in sorted(flagged_domains)
+                         for c in countries]
+    logger.info("top1m: %d explicit candidates confirmed=%d; "
+                "%d non-explicit flagged domains -> %d resample pairs",
+                len(explicit_candidates), len(confirmed),
+                len(flagged_domains), len(nonexplicit_pairs))
+    resampled_nonexplicit = scanner.resample(nonexplicit_pairs,
+                                             cfg.samples_confirm, epoch=1)
+    consistency = domain_consistency(
+        resampled_nonexplicit, reg,
+        page_types=(blockpages.AKAMAI_BLOCK, blockpages.INCAPSULA_BLOCK))
+
+    return Top1MResult(
+        population=population,
+        safe_customers=safe_customers,
+        sampled_domains=sampled,
+        countries=list(countries),
+        initial=initial,
+        resampled_explicit=resampled_explicit,
+        confirmed=confirmed,
+        resampled_nonexplicit=resampled_nonexplicit,
+        consistency=consistency,
+        nonexplicit_flagged=flagged,
+    )
+
+
+# ===================================================================== #
+# §3.1 — VPS exploration and validation
+
+
+@dataclass
+class VPSExplorationResult:
+    """The §3.1 exploration numbers."""
+
+    cloudflare_domains: List[str]
+    akamai_domains: List[str]
+    iran_403_count: int
+    us_403_count: int
+    iran_blockpage_count: int      # curl 403s that classify as block pages
+    us_blockpage_count: int
+    flagged_pairs: List[Tuple[str, str, str]]      # (domain, country, page)
+    genuine_pairs: List[Tuple[str, str, str]]
+    false_positive_pairs: List[Tuple[str, str, str]]
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of flagged pairs that manual verification rejected."""
+        if not self.flagged_pairs:
+            return 0.0
+        return len(self.false_positive_pairs) / len(self.flagged_pairs)
+
+    @property
+    def genuine_domains(self) -> List[str]:
+        """Unique domains with at least one genuine geoblock pair."""
+        return sorted({d for d, _, _ in self.genuine_pairs})
+
+
+def run_vps_exploration(world: World,
+                        registry: Optional[FingerprintRegistry] = None,
+                        max_domains: Optional[int] = None) -> VPSExplorationResult:
+    """Reproduce the §3.1 exploration: curl counts, ZGrab scan, verification."""
+    reg = registry or FingerprintRegistry.default()
+    alexa = AlexaList(world.population)
+    ns = identify_by_ns(world.dns, alexa.full())
+    cf_domains = sorted(ns["cloudflare"])
+    ak_domains = sorted(ns["akamai"])
+    if max_domains is not None:
+        cf_domains = cf_domains[:max_domains]
+        ak_domains = ak_domains[:max_domains]
+    all_domains = sorted(set(cf_domains) | set(ak_domains))
+
+    fleet = VPSFleet(world)
+    iran = fleet.get("IR") if "IR" in fleet.countries() else None
+    us = fleet.get("US") if "US" in fleet.countries() else None
+
+    iran_403 = 0
+    us_403 = 0
+    iran_blockpage = 0
+    us_blockpage = 0
+    for domain in all_domains:
+        url = f"http://{domain}/"
+        if iran is not None:
+            result = iran.fetch_curl(url)
+            if result.ok and result.response.status == 403:
+                iran_403 += 1
+                if classify_body(result.response.body, reg).is_blockpage:
+                    iran_blockpage += 1
+        if us is not None:
+            result = us.fetch_curl(url)
+            if result.ok and result.response.status == 403:
+                us_403 += 1
+                if classify_body(result.response.body, reg).is_blockpage:
+                    us_blockpage += 1
+
+    # ZGrab pass from every VPS, then browser-based manual verification.
+    flagged: List[Tuple[str, str, str]] = []
+    genuine: List[Tuple[str, str, str]] = []
+    false_positives: List[Tuple[str, str, str]] = []
+    for client in fleet.clients():
+        for domain in all_domains:
+            url = f"http://{domain}/"
+            result = client.fetch_zgrab(url)
+            if not result.ok:
+                continue
+            verdict = classify_body(result.response.body, reg)
+            if verdict.provider not in ("cloudflare", "akamai"):
+                continue
+            if not verdict.is_blockpage:
+                continue
+            record = (domain, client.country, verdict.page_type)
+            flagged.append(record)
+            check = client.fetch_browser(url)
+            still_blocked = (
+                check.ok
+                and classify_body(check.response.body, reg).is_blockpage
+            )
+            if still_blocked:
+                genuine.append(record)
+            else:
+                false_positives.append(record)
+
+    return VPSExplorationResult(
+        cloudflare_domains=cf_domains,
+        akamai_domains=ak_domains,
+        iran_403_count=iran_403,
+        us_403_count=us_403,
+        iran_blockpage_count=iran_blockpage,
+        us_blockpage_count=us_blockpage,
+        flagged_pairs=flagged,
+        genuine_pairs=genuine,
+        false_positive_pairs=false_positives,
+    )
+
+
+# ===================================================================== #
+# Observation pools for Figures 1 and 3
+
+
+def build_observation_pools(world: World, scanner: Lumscan,
+                            pairs: Sequence[Tuple[str, str]],
+                            registry: Optional[FingerprintRegistry] = None,
+                            samples: int = 100,
+                            epoch: int = 1) -> Dict[Tuple[str, str], List[bool]]:
+    """Probe each pair ``samples`` times; True = explicit block page seen."""
+    reg = registry or FingerprintRegistry.default()
+    data = scanner.resample(list(pairs), samples, epoch=epoch)
+    pools: Dict[Tuple[str, str], List[bool]] = {}
+    for domain, country, samples_list in data.pairs():
+        pool = pools.setdefault((domain, country), [])
+        for sample in samples_list:
+            verdict = classify_sample(sample, reg)
+            pool.append(verdict.kind == VERDICT_EXPLICIT)
+    return pools

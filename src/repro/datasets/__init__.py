@@ -1,0 +1,9 @@
+"""External datasets and services the study depends on (simulated)."""
+
+from repro.datasets.alexa import AlexaList
+from repro.datasets.citizenlab import CitizenLabList
+from repro.datasets.firewall_rules import FirewallRule, ZoneRuleSet
+from repro.datasets.fortiguard import FortiGuardClient
+
+__all__ = ["AlexaList", "CitizenLabList", "FortiGuardClient",
+           "FirewallRule", "ZoneRuleSet"]

@@ -1,0 +1,91 @@
+"""Citizen Lab block-list (simulated).
+
+The Citizen Lab test lists [12] enumerate domains known or suspected to be
+censored somewhere.  The study uses the list two ways:
+
+* as a *safety filter*: listed domains are never probed from residential
+  vantage points (§3.3), and
+* as the corpus for the §7.1 finding that **9% of listed domains returned
+  a CDN block page in at least one country** — i.e. geoblocking confounds
+  censorship measurement.
+
+The real global list is *curated and bounded* (on the order of a thousand
+entries), not an exhaustive enumeration of everything any censor blocks.
+The simulated list therefore samples:
+
+* a slice of domains the synthetic censors actually block,
+* a slice of sensitive-category domains (likely censorship targets), and
+* benign popular domains — the list's control entries, drawn with a bias
+  toward high-traffic news/media/social sites, which in practice sit on
+  CDNs (and sometimes geoblock — the §7.1 confounder arises organically).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.util.rng import derive_rng
+from repro.websim.categories import CategoryTaxonomy
+from repro.websim.domains import DomainPopulation
+
+#: Benign control entries lean toward these categories (news, media,
+#: social — the kinds of sites censorship measurement cares about).
+_CONTROL_CATEGORIES = (
+    "News and Media", "Newsgroups and Message Boards", "Streaming Media",
+    "Society and Lifestyle", "Search Engines and Portals", "Shopping",
+)
+
+
+class CitizenLabList:
+    """The simulated global test list (curated, bounded size)."""
+
+    def __init__(self, population: DomainPopulation,
+                 taxonomy=None, seed: int = 0,
+                 max_size: int = 1_500,
+                 censored_share: float = 0.45,
+                 sensitive_share: float = 0.25) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self._population = population
+        taxonomy = taxonomy or CategoryTaxonomy()
+        rng = derive_rng(seed, "citizenlab")
+
+        censored_pool: List[str] = []
+        sensitive_pool: List[str] = []
+        control_pool: List[str] = []
+        risky = set(taxonomy.risky_names())
+        for domain in population:
+            if domain.censored_in:
+                censored_pool.append(domain.name)
+            elif domain.category in risky:
+                sensitive_pool.append(domain.name)
+            elif domain.category in _CONTROL_CATEGORIES:
+                control_pool.append(domain.name)
+
+        entries: Set[str] = set()
+        n_censored = min(len(censored_pool), round(max_size * censored_share))
+        n_sensitive = min(len(sensitive_pool), round(max_size * sensitive_share))
+        entries.update(rng.sample(censored_pool, n_censored))
+        entries.update(rng.sample(sensitive_pool, n_sensitive))
+        # Benign controls fill the remainder, biased toward popularity:
+        # real lists include globally relevant (high-rank) sites.
+        n_controls = max(0, max_size - len(entries))
+        weighted = sorted(control_pool,
+                          key=lambda name: population.get(name).rank)
+        head = weighted[: max(n_controls * 3, 10)]
+        entries.update(rng.sample(head, min(n_controls, len(head))))
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, domain: object) -> bool:
+        return domain in self._entries
+
+    def domains(self) -> List[str]:
+        """All listed domains, sorted."""
+        return sorted(self._entries)
+
+    def filter_out(self, domains: Iterable[str]) -> List[str]:
+        """Remove listed domains from a probe list (order preserved)."""
+        return [d for d in domains if d not in self._entries]

@@ -1,0 +1,247 @@
+"""Simulated Cloudflare Firewall Access Rules snapshot (§6).
+
+Cloudflare provided the authors a July-2018 snapshot of every active
+country-scoped access rule: (action, target country, zone tier, activation
+date).  Country *blocking* is an Enterprise feature, but a regression
+enabled it for Business/Pro/Free zones from April to August 2018 — the
+snapshot falls inside that window, giving a glimpse of "unrestricted
+geoblocking" (§7.2).
+
+The generator reproduces the snapshot's published aggregates:
+
+* per-tier baseline rates of having any country rule (Table 9 row 1),
+* per-tier per-country rates for the 16 countries Table 9 lists, with a
+  long tail for unlisted countries,
+* activation-date processes: Enterprise rules accumulate from 2016 on;
+  non-Enterprise *block* rules exist only inside the regression window
+  (challenge rules were always allowed and span the full range),
+
+and exposes the aggregation queries behind Table 9 and Figure 5.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.rng import derive_rng
+
+ACTIONS = ("block", "challenge", "js_challenge", "whitelist")
+TIERS = ("enterprise", "business", "pro", "free")
+
+#: Zone-count mix per tier (free-tier zones dominate).
+TIER_MIX = {"enterprise": 0.01, "business": 0.05, "pro": 0.12, "free": 0.82}
+
+#: Table 9 as published: {country: (all, enterprise, business, pro, free)}
+#: — the percentage of zones of that tier with a rule against the country.
+TABLE9_TARGETS: Mapping[str, Tuple[float, float, float, float, float]] = {
+    "RU": (0.22, 4.90, 1.14, 0.44, 0.19),
+    "CN": (0.22, 3.11, 1.16, 0.46, 0.20),
+    "KP": (0.20, 16.50, 0.38, 0.17, 0.10),
+    "IR": (0.18, 15.57, 0.39, 0.13, 0.09),
+    "UA": (0.18, 3.89, 0.71, 0.38, 0.15),
+    "RO": (0.14, 3.63, 0.49, 0.24, 0.12),
+    "IN": (0.14, 4.18, 0.48, 0.23, 0.11),
+    "BR": (0.13, 3.87, 0.43, 0.16, 0.11),
+    "VN": (0.13, 3.08, 0.33, 0.16, 0.11),
+    "CZ": (0.11, 3.66, 0.40, 0.15, 0.09),
+    "ID": (0.11, 2.24, 0.39, 0.12, 0.10),
+    "IQ": (0.10, 3.99, 0.32, 0.09, 0.08),
+    "HR": (0.10, 3.44, 0.24, 0.13, 0.08),
+    "SY": (0.10, 13.74, 0.17, 0.06, 0.02),
+    "EE": (0.10, 3.28, 0.32, 0.14, 0.08),
+    "SD": (0.10, 13.57, 0.12, 0.04, 0.02),
+}
+
+#: Table 9 baseline row: fraction of zones with any country rule.
+BASELINE_TARGETS = {
+    "enterprise": 0.3707, "business": 0.0269, "pro": 0.0256, "free": 0.0172,
+}
+
+#: The sanctioned bundle whose Figure 5 curves move together.
+SANCTIONS_BUNDLE = ("KP", "IR", "SY", "SD", "CU")
+
+_SNAPSHOT_DATE = datetime.date(2018, 7, 15)
+_REGRESSION_START = datetime.date(2018, 4, 1)
+_ENTERPRISE_START = datetime.date(2016, 1, 1)
+
+#: Tail countries available to rules beyond the Table 9 sixteen.
+_TAIL_COUNTRIES = ("TR", "PK", "NG", "EG", "TH", "PH", "BD", "MX", "AR",
+                   "SA", "AE", "PL", "HU", "BG", "RS", "BY", "KZ", "CU")
+
+
+@dataclass(frozen=True)
+class AccessRule:
+    """One active country-scoped rule."""
+
+    zone_id: int
+    tier: str
+    action: str
+    country: str
+    activated: datetime.date
+
+
+class CloudflareRuleDataset:
+    """A snapshot of active country-scoped access rules."""
+
+    def __init__(self, rules: List[AccessRule], zones_per_tier: Dict[str, int],
+                 snapshot_date: datetime.date = _SNAPSHOT_DATE) -> None:
+        self._rules = rules
+        self._zones_per_tier = dict(zones_per_tier)
+        self.snapshot_date = snapshot_date
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def zones(self, tier: str) -> int:
+        """Total zone count for a tier."""
+        return self._zones_per_tier[tier]
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def generate(cls, n_zones: int = 120_000, seed: int = 0) -> "CloudflareRuleDataset":
+        """Generate a snapshot whose aggregates track Table 9.
+
+        Zones are assigned tiers by :data:`TIER_MIX`.  A zone adopts country
+        rules with its tier's baseline probability; adopting zones receive
+        each Table 9 country independently with the conditional probability
+        ``target / baseline``, sanctioned countries arriving as a bundle
+        with correlated activation dates (the Figure 5 pattern).
+        """
+        rng = derive_rng(seed, "cf-rules")
+        zones_per_tier = {tier: 0 for tier in TIERS}
+        rules: List[AccessRule] = []
+        tiers = list(TIER_MIX)
+        weights = [TIER_MIX[t] for t in tiers]
+        for zone_id in range(n_zones):
+            tier = rng.choices(tiers, weights=weights, k=1)[0]
+            zones_per_tier[tier] += 1
+            tier_index = TIERS.index(tier) + 1
+            baseline = BASELINE_TARGETS[tier]
+            if rng.random() >= baseline:
+                continue
+            countries = cls._draw_countries(rng, tier_index, baseline)
+            if not countries:
+                continue
+            bundle_date = cls._draw_date(rng, tier)
+            for country in countries:
+                if country in SANCTIONS_BUNDLE:
+                    # Bundle members activate within days of each other.
+                    activated = bundle_date + datetime.timedelta(
+                        days=rng.randint(0, 6))
+                    if activated > _SNAPSHOT_DATE:
+                        activated = _SNAPSHOT_DATE
+                else:
+                    activated = cls._draw_date(rng, tier)
+                action = cls._draw_action(rng, tier, activated)
+                rules.append(AccessRule(zone_id=zone_id, tier=tier,
+                                        action=action, country=country,
+                                        activated=activated))
+        return cls(rules, zones_per_tier)
+
+    @staticmethod
+    def _draw_countries(rng, tier_index: int, baseline: float) -> List[str]:
+        countries: List[str] = []
+        conditionals: List[Tuple[str, float]] = []
+        for country, row in TABLE9_TARGETS.items():
+            conditional = min((row[tier_index] / 100.0) / baseline, 1.0)
+            conditionals.append((country, conditional))
+            if rng.random() < conditional:
+                countries.append(country)
+        # Cuba is absent from Table 9's sixteen but present in Figure 5's
+        # bundle: zones that block the sanctioned set include it too.
+        sanction_hits = sum(1 for c in countries if c in SANCTIONS_BUNDLE)
+        if sanction_hits >= 2 and rng.random() < 0.6:
+            countries.append("CU")
+        # Long tail beyond the published sixteen.
+        for country in _TAIL_COUNTRIES:
+            if country not in countries and rng.random() < 0.02:
+                countries.append(country)
+        if not countries:
+            # An adopting zone has at least one rule by definition; draw a
+            # single country from the tier's conditional distribution so
+            # the baseline rates stay on target.
+            names = [c for c, _ in conditionals]
+            weights = [max(w, 1e-6) for _, w in conditionals]
+            countries.append(rng.choices(names, weights=weights, k=1)[0])
+        return countries
+
+    @staticmethod
+    def _draw_date(rng, tier: str) -> datetime.date:
+        if tier == "enterprise":
+            start, end = _ENTERPRISE_START, _SNAPSHOT_DATE
+        else:
+            start, end = _REGRESSION_START, _SNAPSHOT_DATE
+        span = (end - start).days
+        # Adoption accelerates over time: quadratic bias toward the end.
+        offset = int(span * (rng.random() ** 0.5))
+        return start + datetime.timedelta(days=offset)
+
+    @staticmethod
+    def _draw_action(rng, tier: str, activated: datetime.date) -> str:
+        if tier == "enterprise":
+            return rng.choices(("block", "challenge", "js_challenge"),
+                               weights=(0.8, 0.15, 0.05), k=1)[0]
+        if activated >= _REGRESSION_START:
+            return rng.choices(("block", "challenge", "js_challenge"),
+                               weights=(0.6, 0.3, 0.1), k=1)[0]
+        return rng.choices(("challenge", "js_challenge"),
+                           weights=(0.75, 0.25), k=1)[0]
+
+    # ------------------------------------------------------------------ #
+    # Aggregations (what Cloudflare shared, in aggregate form)
+
+    def baseline_rates(self) -> Dict[str, float]:
+        """Fraction of zones per tier with >= 1 country rule (Table 9 row 1)."""
+        zones_with_rules: Dict[str, set] = {tier: set() for tier in TIERS}
+        for rule in self._rules:
+            zones_with_rules[rule.tier].add(rule.zone_id)
+        return {tier: (len(zones_with_rules[tier]) / self._zones_per_tier[tier]
+                       if self._zones_per_tier[tier] else 0.0)
+                for tier in TIERS}
+
+    def country_rates(self, countries: Optional[Sequence[str]] = None
+                      ) -> Dict[str, Dict[str, float]]:
+        """Per country, per tier (plus 'all'): fraction of zones with a rule."""
+        selected = list(countries) if countries is not None else list(TABLE9_TARGETS)
+        zone_sets: Dict[Tuple[str, str], set] = {}
+        for rule in self._rules:
+            if rule.country in selected:
+                zone_sets.setdefault((rule.country, rule.tier), set()).add(rule.zone_id)
+        total_zones = sum(self._zones_per_tier.values())
+        out: Dict[str, Dict[str, float]] = {}
+        for country in selected:
+            row: Dict[str, float] = {}
+            all_zones = 0
+            for tier in TIERS:
+                zones = zone_sets.get((country, tier), set())
+                all_zones += len(zones)
+                denom = self._zones_per_tier[tier]
+                row[tier] = len(zones) / denom if denom else 0.0
+            row["all"] = all_zones / total_zones if total_zones else 0.0
+            out[country] = row
+        return out
+
+    def activation_series(self, countries: Sequence[str],
+                          tier: str = "enterprise",
+                          action: str = "block") -> Dict[str, List[Tuple[datetime.date, int]]]:
+        """Figure 5: cumulative rule activations over time per country."""
+        series: Dict[str, List[Tuple[datetime.date, int]]] = {}
+        for country in countries:
+            dates = sorted(r.activated for r in self._rules
+                           if r.country == country and r.tier == tier
+                           and r.action == action)
+            cumulative: List[Tuple[datetime.date, int]] = []
+            for i, date in enumerate(dates, start=1):
+                cumulative.append((date, i))
+            series[country] = cumulative
+        return series
+
+    def rules_activated_after(self, date: datetime.date) -> int:
+        """How many active rules were created on/after a date."""
+        return sum(1 for r in self._rules if r.activated >= date)

@@ -1,0 +1,65 @@
+"""FortiGuard-style web categorization service (simulated).
+
+The paper classifies probe lists with FortiGuard and removes dangerous or
+sensitive categories (pornography, weapons, spam, malicious, …) plus
+unrated domains before probing from residential vantage points (§3.3).
+The simulated service returns the population's ground-truth category with
+a small, deterministic error rate — real categorizers misfile sites, and
+the safety filter has to live with that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.util.rng import derive_rng
+from repro.websim.categories import CategoryTaxonomy
+from repro.websim.domains import DomainPopulation
+
+
+class FortiGuardClient:
+    """Category lookups and safety filtering over a domain population."""
+
+    def __init__(self, population: DomainPopulation,
+                 taxonomy: Optional[CategoryTaxonomy] = None,
+                 error_rate: float = 0.01, seed: int = 0) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self._population = population
+        self._taxonomy = taxonomy or CategoryTaxonomy()
+        self._error_rate = error_rate
+        self._seed = seed
+
+    def categorize(self, domain: str) -> str:
+        """Return the category FortiGuard reports for a domain.
+
+        Unknown domains come back "Unrated"; a small deterministic
+        fraction of known domains are misfiled into a sibling category.
+        """
+        try:
+            record = self._population.get(domain)
+        except KeyError:
+            return "Unrated"
+        if self._error_rate > 0.0:
+            rng = derive_rng(self._seed, "fortiguard", domain)
+            if rng.random() < self._error_rate:
+                names = self._taxonomy.safe_names()
+                return names[rng.randrange(len(names))]
+        return record.category
+
+    def categorize_all(self, domains: Iterable[str]) -> Dict[str, str]:
+        """Batch categorization."""
+        return {d: self.categorize(d) for d in domains}
+
+    def is_safe(self, domain: str) -> bool:
+        """True when a domain's category is safe to probe residentially."""
+        category = self.categorize(domain)
+        if category == "Unrated":
+            return False
+        if category not in self._taxonomy:
+            return False
+        return not self._taxonomy.get(category).risky
+
+    def filter_safe(self, domains: Iterable[str]) -> List[str]:
+        """Keep only domains whose category is safe (order preserved)."""
+        return [d for d in domains if self.is_safe(d)]

@@ -1,0 +1,34 @@
+"""HTTP substrate: URLs, messages, headers, status codes, user agents.
+
+This package models just enough of HTTP/1.1 semantics for the geoblocking
+study: case-insensitive multi-valued headers, request/response objects,
+status-code reason phrases (including 451 *Unavailable For Legal Reasons*),
+URL parsing, and the browser/crawler ``User-Agent`` strings that matter for
+bot detection.
+"""
+
+from repro.httpsim.messages import Headers, Request, Response
+from repro.httpsim.status import STATUS_REASONS, reason_phrase
+from repro.httpsim.url import URL, parse_url
+from repro.httpsim.useragent import (
+    CURL_UA,
+    FIREFOX_MACOS_UA,
+    ZGRAB_DEFAULT_UA,
+    browser_headers,
+    crawler_headers,
+)
+
+__all__ = [
+    "Headers",
+    "Request",
+    "Response",
+    "STATUS_REASONS",
+    "reason_phrase",
+    "URL",
+    "parse_url",
+    "CURL_UA",
+    "FIREFOX_MACOS_UA",
+    "ZGRAB_DEFAULT_UA",
+    "browser_headers",
+    "crawler_headers",
+]

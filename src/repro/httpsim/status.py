@@ -1,0 +1,37 @@
+"""HTTP status codes and reason phrases used by the synthetic web.
+
+The study cares particularly about 403 *Forbidden* (RFC 7231 §6.5.3) and
+451 *Unavailable For Legal Reasons* (RFC 7725), which the paper observed only
+twice in the wild.
+"""
+
+from __future__ import annotations
+
+STATUS_REASONS = {
+    200: "OK",
+    301: "Moved Permanently",
+    302: "Found",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    429: "Too Many Requests",
+    451: "Unavailable For Legal Reasons",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+REDIRECT_CODES = frozenset({301, 302, 307, 308})
+
+
+def reason_phrase(code: int) -> str:
+    """Return the reason phrase for a status code, or ``"Unknown"``."""
+    return STATUS_REASONS.get(code, "Unknown")
+
+
+def is_redirect(code: int) -> bool:
+    """True when the status code indicates a redirect with a Location."""
+    return code in REDIRECT_CODES

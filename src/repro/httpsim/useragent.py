@@ -1,0 +1,57 @@
+"""User-Agent strings and header sets for the study's client profiles.
+
+Section 3 of the paper found that setting only ``User-Agent`` (as ZGrab was
+configured, mimicking Firefox on Mac OS X) is insufficient to suppress bot
+detection — roughly 30% of Akamai 403s were false positives.  Lumscan
+therefore sends a full browser header set.  We model three client profiles:
+
+* ``browser_headers`` — a complete, realistic browser header set (Lumscan,
+  or a human driving a real browser through a VPS proxy).
+* ``crawler_headers`` — ZGrab-style: a browser User-Agent but nothing else,
+  which trips heuristic bot detection.
+* ``CURL_UA`` — bare curl, used in the earliest exploration (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.httpsim.messages import Headers
+
+FIREFOX_MACOS_UA = (
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10.13; rv:61.0) "
+    "Gecko/20100101 Firefox/61.0"
+)
+ZGRAB_DEFAULT_UA = FIREFOX_MACOS_UA
+CURL_UA = "curl/7.54.0"
+
+_FULL_BROWSER_FIELDS = [
+    ("Accept", "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8"),
+    ("Accept-Language", "en-US,en;q=0.5"),
+    ("Accept-Encoding", "gzip, deflate, br"),
+    ("Connection", "keep-alive"),
+    ("Upgrade-Insecure-Requests", "1"),
+]
+
+
+def browser_headers(user_agent: str = FIREFOX_MACOS_UA) -> Headers:
+    """A full browser-equivalent header set that passes bot heuristics."""
+    headers = Headers([("User-Agent", user_agent)])
+    for name, value in _FULL_BROWSER_FIELDS:
+        headers.add(name, value)
+    return headers
+
+
+def crawler_headers(user_agent: str = ZGRAB_DEFAULT_UA) -> Headers:
+    """A ZGrab-style header set: User-Agent only, no Accept-* fields."""
+    return Headers([("User-Agent", user_agent)])
+
+
+def looks_like_browser(headers: Headers) -> bool:
+    """Heuristic used by simulated CDN bot detection.
+
+    A request "looks like a browser" when it carries a browser User-Agent
+    *and* the Accept/Accept-Language fields real browsers always send.
+    """
+    ua = headers.get("User-Agent", "")
+    if not ua or "curl" in ua.lower() or "zgrab" in ua.lower():
+        return False
+    return "Accept" in headers and "Accept-Language" in headers

@@ -1,0 +1,8 @@
+"""Lumscan: the reliability-hardened Luminati scanning tool (§3.2)."""
+
+from repro.lumscan.records import Sample, ScanDataset
+from repro.lumscan.scanner import Lumscan, LumscanConfig
+from repro.lumscan.serialize import dump_dataset, load_dataset
+
+__all__ = ["Sample", "ScanDataset", "Lumscan", "LumscanConfig",
+           "dump_dataset", "load_dataset"]

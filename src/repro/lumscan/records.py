@@ -1,0 +1,171 @@
+"""Compact storage for scan results.
+
+A full Top-10K study is 8,003 domains × 177 countries × 3 samples ≈ 4.2M
+records, so :class:`ScanDataset` is column-oriented: parallel arrays plus a
+sparse body store.  Bodies are retained only when they can possibly matter
+to the pipeline — non-200 responses and short pages (every CDN block page,
+captcha, and challenge is well under the threshold); multi-hundred-KB
+origin pages keep only their length, which is all the outlier heuristic
+needs.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Bodies at or below this length are always retained.
+BODY_KEEP_THRESHOLD = 6_000
+
+#: Sentinel status for failed probes (no HTTP response).
+NO_RESPONSE = 0
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One probe outcome (a row view over the column store)."""
+
+    domain: str
+    country: str
+    status: int                  # HTTP status, or NO_RESPONSE on failure
+    length: int                  # body length (0 on failure)
+    body: Optional[str]          # retained body, when kept
+    error: Optional[str]         # FetchError.kind on failure
+    interfered: bool = False     # ground-truth flag: local-firewall artifact
+
+    @property
+    def ok(self) -> bool:
+        """True when an HTTP response was received."""
+        return self.status != NO_RESPONSE
+
+
+class ScanDataset:
+    """Column-oriented collection of :class:`Sample` records.
+
+    Records are stored in append order.  The scanners append samples for a
+    (country, domain) pair contiguously, and `pairs()` exploits that to
+    iterate without building a giant index.
+    """
+
+    def __init__(self) -> None:
+        self._domains: List[str] = []
+        self._countries: List[str] = []
+        self._statuses = array("h")
+        self._lengths = array("l")
+        self._errors: List[Optional[str]] = []
+        self._bodies: Dict[int, str] = {}
+        self._interfered: set = set()
+
+    def append(self, domain: str, country: str, status: int, length: int,
+               body: Optional[str], error: Optional[str] = None,
+               interfered: bool = False) -> None:
+        """Append one record (bodies above the threshold are dropped)."""
+        index = len(self._domains)
+        self._domains.append(sys.intern(domain))
+        self._countries.append(sys.intern(country))
+        self._statuses.append(status)
+        self._lengths.append(length)
+        self._errors.append(error)
+        if body is not None and (status != 200 or length <= BODY_KEEP_THRESHOLD):
+            self._bodies[index] = body
+        if interfered:
+            self._interfered.add(index)
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def row(self, index: int) -> Sample:
+        """Materialize the record at ``index``."""
+        return Sample(
+            domain=self._domains[index],
+            country=self._countries[index],
+            status=self._statuses[index],
+            length=self._lengths[index],
+            body=self._bodies.get(index),
+            error=self._errors[index],
+            interfered=index in self._interfered,
+        )
+
+    def __iter__(self) -> Iterator[Sample]:
+        for index in range(len(self)):
+            yield self.row(index)
+
+    def pairs(self) -> Iterator[Tuple[str, str, List[Sample]]]:
+        """Iterate (domain, country, samples) over contiguous runs."""
+        n = len(self)
+        start = 0
+        while start < n:
+            end = start
+            domain = self._domains[start]
+            country = self._countries[start]
+            while (end < n and self._domains[end] is domain
+                   and self._countries[end] is country):
+                end += 1
+            yield domain, country, [self.row(i) for i in range(start, end)]
+            start = end
+
+    def lengths_by_domain(self) -> Dict[str, List[int]]:
+        """Map domain -> all observed 200-response body lengths."""
+        out: Dict[str, List[int]] = {}
+        for i in range(len(self)):
+            if self._statuses[i] == 200:
+                out.setdefault(self._domains[i], []).append(self._lengths[i])
+        return out
+
+    def domains(self) -> List[str]:
+        """Unique domains in first-seen order."""
+        seen: Dict[str, None] = {}
+        for d in self._domains:
+            if d not in seen:
+                seen[d] = None
+        return list(seen)
+
+    def countries(self) -> List[str]:
+        """Unique countries in first-seen order."""
+        seen: Dict[str, None] = {}
+        for c in self._countries:
+            if c not in seen:
+                seen[c] = None
+        return list(seen)
+
+    def extend(self, other: "ScanDataset") -> None:
+        """Append all records of ``other`` to this dataset."""
+        offset = len(self)
+        self._domains.extend(other._domains)
+        self._countries.extend(other._countries)
+        self._statuses.extend(other._statuses)
+        self._lengths.extend(other._lengths)
+        self._errors.extend(other._errors)
+        for idx, body in other._bodies.items():
+            self._bodies[offset + idx] = body
+        for idx in other._interfered:
+            self._interfered.add(offset + idx)
+
+    def count_status(self, status: int) -> int:
+        """Number of records with the given HTTP status."""
+        return sum(1 for s in self._statuses if s == status)
+
+    def error_rate_by_domain(self) -> Dict[str, float]:
+        """Fraction of failed probes per domain."""
+        totals: Dict[str, int] = {}
+        fails: Dict[str, int] = {}
+        for i in range(len(self)):
+            d = self._domains[i]
+            totals[d] = totals.get(d, 0) + 1
+            if self._statuses[i] == NO_RESPONSE:
+                fails[d] = fails.get(d, 0) + 1
+        return {d: fails.get(d, 0) / totals[d] for d in totals}
+
+    def response_rate_by_country(self) -> Dict[str, float]:
+        """Per country: fraction of domains with >= 1 valid response."""
+        responded: Dict[str, set] = {}
+        tested: Dict[str, set] = {}
+        for i in range(len(self)):
+            c = self._countries[i]
+            tested.setdefault(c, set()).add(self._domains[i])
+            if self._statuses[i] != NO_RESPONSE:
+                responded.setdefault(c, set()).add(self._domains[i])
+        return {c: len(responded.get(c, ())) / len(doms)
+                for c, doms in tested.items()}

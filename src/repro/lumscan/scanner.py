@@ -1,0 +1,158 @@
+"""Lumscan: reliability features layered over the raw Luminati API (§3.2).
+
+Lumscan improves raw proxy measurements four ways, all reproduced here:
+
+1. **Connectivity verification** — before using an exit node, fetch the
+   Luminati echo page; exits that cannot reach it are discarded.  The echo
+   response also yields the exit's IP and geolocation for bookkeeping.
+2. **Retries** — failed requests are repeated a configurable number of
+   times on a *different* exit, collapsing transient proxy noise.
+3. **Full browser headers** — merely setting User-Agent does not suppress
+   bot detection (the §3.1 ZGrab lesson), so Lumscan sends a complete
+   browser header set by default (caller-overridable).
+4. **Load balancing / rotation** — at most ``requests_per_exit`` requests
+   are sent through any exit before rotating, bounding per-user resource
+   consumption; requests are spread across superproxies.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+logger = logging.getLogger("repro.lumscan")
+
+from repro.httpsim.messages import Headers
+from repro.httpsim.useragent import browser_headers
+from repro.lumscan.records import NO_RESPONSE, ScanDataset
+from repro.netsim.errors import NoExitAvailable
+from repro.proxynet.luminati import ExitNode, LuminatiClient, ProbeResult
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class LumscanConfig:
+    """Tuning for a Lumscan run."""
+
+    retries: int = 2                 # extra attempts after a failure
+    requests_per_exit: int = 10      # rotation threshold (§3.2)
+    superproxies: int = 8            # parallel mediating superproxies
+    verify_exits: bool = True        # echo-page connectivity pre-check
+    max_redirects: int = 10
+
+
+class Lumscan:
+    """Scanning tool built on a :class:`LuminatiClient`."""
+
+    def __init__(self, luminati: LuminatiClient,
+                 config: Optional[LumscanConfig] = None,
+                 headers: Optional[Headers] = None,
+                 seed: int = 0) -> None:
+        self._luminati = luminati
+        self._config = config or LumscanConfig()
+        self._headers = headers or browser_headers()
+        self._rng = derive_rng(seed, "lumscan")
+        self._current_exit: Optional[ExitNode] = None
+        self._current_exit_uses = 0
+        self._current_country: Optional[str] = None
+        self.superproxy_loads = [0] * self._config.superproxies
+
+    # ------------------------------------------------------------------ #
+
+    def probe(self, url: str, country: str, epoch: int = 0) -> ProbeResult:
+        """One logical measurement: verified exit, retries, rotation."""
+        attempts = 1 + self._config.retries
+        result: Optional[ProbeResult] = None
+        for _ in range(attempts):
+            try:
+                exit_node = self._next_exit(country)
+            except NoExitAvailable as exc:
+                return ProbeResult(url=url, country=country, response=None,
+                                   error=exc.kind)
+            self._balance_superproxy()
+            result = self._luminati.request(
+                url, country, headers=self._headers, exit_node=exit_node,
+                max_redirects=self._config.max_redirects, epoch=epoch)
+            if result.ok:
+                return result
+            # Rotate away from the failing exit before retrying.
+            self._current_exit = None
+        assert result is not None
+        return result
+
+    def scan(self, urls: Sequence[str], countries: Sequence[str],
+             samples: int = 3, epoch: int = 0,
+             dataset: Optional[ScanDataset] = None) -> ScanDataset:
+        """Probe every (country, domain) pair ``samples`` times.
+
+        Results for a pair are appended contiguously, which downstream
+        consumers (``ScanDataset.pairs``) rely on.  Progress is logged
+        per country at DEBUG level (long scans cover millions of probes).
+        """
+        data = dataset if dataset is not None else ScanDataset()
+        for index, country in enumerate(countries):
+            for url in urls:
+                domain = self._domain_of(url)
+                for _ in range(samples):
+                    self._record(data, domain, country,
+                                 self.probe(url, country, epoch=epoch))
+            logger.debug("scan: country %d/%d (%s) done, %d records",
+                         index + 1, len(countries), country, len(data))
+        return data
+
+    def resample(self, pairs: Iterable, samples: int, epoch: int = 0,
+                 dataset: Optional[ScanDataset] = None) -> ScanDataset:
+        """Re-probe specific (domain, country) pairs ``samples`` times."""
+        data = dataset if dataset is not None else ScanDataset()
+        for domain, country in pairs:
+            url = f"http://{domain}/"
+            for _ in range(samples):
+                self._record(data, domain, country,
+                             self.probe(url, country, epoch=epoch))
+        return data
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _domain_of(url: str) -> str:
+        host = url.split("://", 1)[-1].split("/", 1)[0]
+        return host[4:] if host.startswith("www.") else host
+
+    @staticmethod
+    def _record(data: ScanDataset, domain: str, country: str,
+                result: ProbeResult) -> None:
+        if result.ok:
+            response = result.response
+            data.append(domain, country, response.status, len(response.body),
+                        response.body, interfered=result.interfered)
+        else:
+            data.append(domain, country, NO_RESPONSE, 0, None, error=result.error)
+
+    def _next_exit(self, country: str) -> ExitNode:
+        rotate = (
+            self._current_exit is None
+            or self._current_country != country
+            or self._current_exit_uses >= self._config.requests_per_exit
+        )
+        if rotate:
+            self._current_exit = self._pick_verified_exit(country)
+            self._current_exit_uses = 0
+            self._current_country = country
+        self._current_exit_uses += 1
+        return self._current_exit
+
+    def _pick_verified_exit(self, country: str) -> ExitNode:
+        for _ in range(5):
+            node = self._luminati.pick_exit(country, rng=self._rng)
+            if not self._config.verify_exits:
+                return node
+            echo = self._luminati.verify_connectivity(node)
+            if echo.get("ip"):
+                return node
+        return self._luminati.pick_exit(country, rng=self._rng)
+
+    def _balance_superproxy(self) -> int:
+        index = self.superproxy_loads.index(min(self.superproxy_loads))
+        self.superproxy_loads[index] += 1
+        return index

@@ -1,0 +1,73 @@
+"""JSONL persistence for scan datasets.
+
+Scans are expensive (millions of probes), so batch runs save raw results
+and analyses reload them.  The format is one JSON object per record —
+append-friendly, diff-able, and stream-parsable.  Bodies are stored only
+when the dataset retained them (same policy as in memory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterator, Union
+
+from repro.lumscan.records import ScanDataset
+
+_FIELDS = ("domain", "country", "status", "length", "body", "error",
+           "interfered")
+
+
+def dump_dataset(dataset: ScanDataset, path: Union[str, os.PathLike]) -> int:
+    """Write a dataset as JSONL; returns the number of records written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for sample in dataset:
+            record = {
+                "domain": sample.domain,
+                "country": sample.country,
+                "status": sample.status,
+                "length": sample.length,
+            }
+            if sample.body is not None:
+                record["body"] = sample.body
+            if sample.error is not None:
+                record["error"] = sample.error
+            if sample.interfered:
+                record["interfered"] = True
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_dataset(path: Union[str, os.PathLike]) -> ScanDataset:
+    """Read a JSONL dataset written by :func:`dump_dataset`."""
+    dataset = ScanDataset()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON: {exc}") from None
+            unknown = set(record) - set(_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown fields {sorted(unknown)}")
+            try:
+                dataset.append(
+                    domain=record["domain"],
+                    country=record["country"],
+                    status=int(record["status"]),
+                    length=int(record["length"]),
+                    body=record.get("body"),
+                    error=record.get("error"),
+                    interfered=bool(record.get("interfered", False)),
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: missing field {exc}") from None
+    return dataset

@@ -1,0 +1,51 @@
+"""Failure taxonomy for simulated fetches.
+
+Section 4.1 of the paper defines "error" as *unable to get a response from
+the site, either due to proxy errors or errors such as timeouts and lengthy
+redirect chains*.  These exception types let the measurement layer count and
+categorize failures exactly the way the paper does.
+"""
+
+from __future__ import annotations
+
+
+class FetchError(Exception):
+    """Base class: the request produced no usable HTTP response."""
+
+    kind = "error"
+
+
+class ConnectionTimeout(FetchError):
+    """The connection or response timed out."""
+
+    kind = "timeout"
+
+
+class ConnectionReset(FetchError):
+    """The TCP connection was reset mid-request."""
+
+    kind = "reset"
+
+
+class TooManyRedirects(FetchError):
+    """The redirect chain exceeded the configured limit (10 in the paper)."""
+
+    kind = "redirect-loop"
+
+
+class ProxyError(FetchError):
+    """The proxy layer failed before reaching the target."""
+
+    kind = "proxy"
+
+
+class LuminatiRefusal(ProxyError):
+    """Luminati refused to carry the request (``X-Luminati-Error``)."""
+
+    kind = "luminati-refusal"
+
+
+class NoExitAvailable(ProxyError):
+    """No exit node is available in the requested country."""
+
+    kind = "no-exit"

@@ -1,0 +1,14 @@
+"""Vantage points: the Luminati residential proxy network and VPS fleet."""
+
+from repro.proxynet.luminati import ExitNode, LuminatiClient, ProbeResult
+from repro.proxynet.transport import fetch_with_redirects
+from repro.proxynet.vps import VPSClient, VPSFleet
+
+__all__ = [
+    "ExitNode",
+    "LuminatiClient",
+    "ProbeResult",
+    "fetch_with_redirects",
+    "VPSClient",
+    "VPSFleet",
+]

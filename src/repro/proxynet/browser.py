@@ -1,0 +1,134 @@
+"""An interactive-browser client: executes challenges like a human would.
+
+The measurement tools (Lumscan, ZGrab) record challenge pages as-is; a
+*person* behind a real browser passes them — the browser runs the JS
+challenge automatically, and a human can solve a captcha.  The paper
+leans on exactly this distinction during manual verification (§3.1,
+§7.3: "our technique does not provide access to verify our observation
+through an interactive browser" for some services).
+
+:class:`InteractiveBrowser` closes that gap in simulation: it keeps a
+cookie jar, auto-solves Cloudflare JS challenges, optionally solves
+captchas (``human=True``), and retries the original URL with the earned
+clearance cookie.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.httpsim.cookies import CookieJar
+from repro.httpsim.messages import Request, Response
+from repro.httpsim.url import URL, parse_url
+from repro.httpsim.useragent import browser_headers
+from repro.netsim.errors import FetchError
+from repro.proxynet.transport import fetch_with_redirects
+
+_JSCHL_VC_RE = re.compile(r'name="jschl_vc"\s+value="([0-9a-f]+)"')
+_JSCHL_ANSWER_RE = re.compile(r'name="jschl_answer"\s+value="([0-9]+)"')
+_CAPTCHA_ID_RE = re.compile(r'name="id"\s+value="([0-9a-f]+)"')
+
+_JS_CHALLENGE_MARKER = "Checking your browser before accessing"
+_CAPTCHA_MARKER = "complete the security check"
+
+
+@dataclass
+class BrowserResult:
+    """Outcome of an interactive visit."""
+
+    response: Optional[Response]
+    error: Optional[str] = None
+    challenges_solved: int = 0
+    solved_kinds: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when a final HTTP response was obtained."""
+        return self.response is not None
+
+
+class InteractiveBrowser:
+    """A cookie-keeping, challenge-solving client bound to one vantage IP."""
+
+    def __init__(self, world, client_ip: str, human: bool = False) -> None:
+        self._world = world
+        self._ip = client_ip
+        self._human = human
+        self.cookies = CookieJar()
+
+    def visit(self, url: str, epoch: int = 0,
+              max_challenges: int = 2) -> BrowserResult:
+        """Load a URL the way a person would, solving challenges en route."""
+        target = parse_url(url)
+        solved = 0
+        kinds: List[str] = []
+        for _ in range(max_challenges + 1):
+            response = self._get(target, epoch)
+            if response is None:
+                return BrowserResult(response=None, error="fetch-error",
+                                     challenges_solved=solved,
+                                     solved_kinds=kinds)
+            kind = self._challenge_kind(response.body)
+            if kind is None or solved >= max_challenges:
+                return BrowserResult(response=response,
+                                     challenges_solved=solved,
+                                     solved_kinds=kinds)
+            if kind == "captcha" and not self._human:
+                # Automated browsers cannot pass a captcha.
+                return BrowserResult(response=response,
+                                     challenges_solved=solved,
+                                     solved_kinds=kinds)
+            if not self._solve(target, response.body, kind, epoch):
+                return BrowserResult(response=response,
+                                     challenges_solved=solved,
+                                     solved_kinds=kinds)
+            solved += 1
+            kinds.append(kind)
+        return BrowserResult(response=None, error="challenge-loop",
+                             challenges_solved=solved, solved_kinds=kinds)
+
+    # ------------------------------------------------------------------ #
+
+    def _get(self, url: URL, epoch: int) -> Optional[Response]:
+        headers = browser_headers()
+        self.cookies.apply(url.host, headers)
+        request = Request(url=url, headers=headers)
+        try:
+            result = fetch_with_redirects(self._world, request, self._ip,
+                                          epoch=epoch)
+        except FetchError:
+            return None
+        for response in result.all_responses:
+            host = (response.url or url).host
+            self.cookies.update_from_response(host, response.headers)
+        return result.response
+
+    @staticmethod
+    def _challenge_kind(body: str) -> Optional[str]:
+        if _JS_CHALLENGE_MARKER in body:
+            return "js"
+        if _CAPTCHA_MARKER in body:
+            return "captcha"
+        return None
+
+    def _solve(self, url: URL, body: str, kind: str, epoch: int) -> bool:
+        if kind == "js":
+            vc = _JSCHL_VC_RE.search(body)
+            answer = _JSCHL_ANSWER_RE.search(body)
+            if not vc or not answer:
+                return False
+            query = f"jschl_vc={vc.group(1)}&jschl_answer={answer.group(1)}"
+            solve_path = "/cdn-cgi/l/chk_jschl"
+        else:
+            captcha_id = _CAPTCHA_ID_RE.search(body)
+            if not captcha_id:
+                return False
+            query = f"id={captcha_id.group(1)}&g-recaptcha-response=solved"
+            solve_path = "/cdn-cgi/l/chk_captcha"
+        solve_url = URL(scheme=url.scheme, host=url.host, port=url.port,
+                        path=solve_path, query=query)
+        response = self._get(solve_url, epoch)
+        return (response is not None
+                and self.cookies.get(url.host, "cf_clearance") is not None)

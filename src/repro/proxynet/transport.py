@@ -1,0 +1,50 @@
+"""Redirect-following transport over a simulated World.
+
+Both the VPS crawlers and Lumscan follow redirect chains with a hard limit
+of 10 hops (the paper counts longer chains as errors).  The chain of
+intermediate responses is preserved so that CDN-identification probes can
+look for provider headers *anywhere in the redirect chain* (§5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.httpsim.messages import Request, Response
+from repro.netsim.errors import TooManyRedirects
+
+DEFAULT_MAX_REDIRECTS = 10
+
+
+@dataclass
+class FetchResult:
+    """A completed fetch: the final response plus the redirect chain."""
+
+    response: Response
+    chain: List[Response] = field(default_factory=list)
+
+    @property
+    def all_responses(self) -> List[Response]:
+        """Every response observed, redirects first, final last."""
+        return self.chain + [self.response]
+
+
+def fetch_with_redirects(world, request: Request, client_ip: str,
+                         max_redirects: int = DEFAULT_MAX_REDIRECTS,
+                         epoch: int = 0) -> FetchResult:
+    """Fetch a URL, following up to ``max_redirects`` redirects.
+
+    Raises :class:`TooManyRedirects` when the chain exceeds the limit, or
+    propagates any :class:`~repro.netsim.errors.FetchError` from the world.
+    """
+    chain: List[Response] = []
+    current = request
+    for _ in range(max_redirects + 1):
+        response = world.fetch(current, client_ip, epoch=epoch)
+        if not response.is_redirect:
+            return FetchResult(response=response, chain=chain)
+        chain.append(response)
+        target = current.url.resolve(response.location or "/")
+        current = current.with_url(target)
+    raise TooManyRedirects(f"more than {max_redirects} redirects for {request.url}")

@@ -1,0 +1,17 @@
+"""Text utilities: HTML text extraction, n-grams, TF-IDF, clustering."""
+
+from repro.textutil.htmltext import extract_text, normalize_whitespace
+from repro.textutil.ngrams import ngram_counts, tokenize, word_ngrams
+from repro.textutil.tfidf import TfidfVectorizer
+from repro.textutil.linkage import cluster_documents, single_link_clusters
+
+__all__ = [
+    "extract_text",
+    "normalize_whitespace",
+    "tokenize",
+    "word_ngrams",
+    "ngram_counts",
+    "TfidfVectorizer",
+    "single_link_clusters",
+    "cluster_documents",
+]

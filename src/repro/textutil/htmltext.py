@@ -1,0 +1,32 @@
+"""HTML-to-text extraction for clustering features.
+
+Block pages are clustered on their *visible text* (plus structure-bearing
+attribute noise is dropped), mirroring how Jones et al. and the paper build
+frequency vectors of words.  The extractor is regex-based: scripts and
+styles are removed wholesale, tags are stripped, entities for the common
+cases are decoded, and whitespace is normalized.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+
+_SCRIPT_RE = re.compile(r"<(script|style)\b.*?</\1>", re.IGNORECASE | re.DOTALL)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_TAG_RE = re.compile(r"<[^>]+>")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse all whitespace runs to single spaces and strip ends."""
+    return _WS_RE.sub(" ", text).strip()
+
+
+def extract_text(document: str) -> str:
+    """Extract normalized visible text from an HTML document."""
+    text = _SCRIPT_RE.sub(" ", document)
+    text = _COMMENT_RE.sub(" ", text)
+    text = _TAG_RE.sub(" ", text)
+    text = html.unescape(text)
+    return normalize_whitespace(text)

@@ -1,0 +1,30 @@
+"""Synthetic web: countries, categories, domains, CDNs, policies, the World.
+
+This package is the stand-in for the live Internet the paper measured.  It
+generates a deterministic population of Alexa-style ranked domains, assigns
+them to CDNs/hosting providers with realistic market shares, equips a subset
+with geoblocking and challenge policies calibrated to the paper's published
+marginals, and serves HTTP responses — full origin pages, CDN block pages,
+captchas, JS challenges, and origin-server error pages — to simulated
+clients identified by IP address.
+"""
+
+from repro.websim.categories import Category, CategoryTaxonomy
+from repro.websim.countries import Country, CountryRegistry, SANCTIONED
+from repro.websim.domains import Domain, DomainPopulation
+from repro.websim.policies import GeoPolicy, PolicyModel
+from repro.websim.world import World, WorldConfig
+
+__all__ = [
+    "Category",
+    "CategoryTaxonomy",
+    "Country",
+    "CountryRegistry",
+    "SANCTIONED",
+    "Domain",
+    "DomainPopulation",
+    "GeoPolicy",
+    "PolicyModel",
+    "World",
+    "WorldConfig",
+]

@@ -1,0 +1,133 @@
+"""Origin page generator: realistic, deterministic HTML per domain.
+
+Page lengths follow a per-domain log-normal draw (real front pages range
+from a few KB to hundreds of KB), and each *sample* of the same page varies
+slightly in length (dynamic ads, CSRF tokens, timestamps), which is exactly
+the noise the paper's 30%-length-difference heuristic has to tolerate
+(§4.1.2, Figure 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.util.rng import derive_rng
+
+_LOREM_WORDS = (
+    "market service global network product research report update team news "
+    "travel deal price account secure login search result media stream video "
+    "story event world local community forum health finance bank trade auto "
+    "vehicle game sport score review guide learn course child school job "
+    "career listing shop cart order shipping return support contact about "
+    "policy privacy terms partner developer api cloud data mobile app free"
+).split()
+
+_NAV_ITEMS = ("Home", "About", "Products", "News", "Contact", "Careers",
+              "Support", "Blog", "Pricing", "Sign in")
+
+
+def _sentence(rng: random.Random) -> str:
+    n = rng.randint(6, 16)
+    words = [rng.choice(_LOREM_WORDS) for _ in range(n)]
+    words[0] = words[0].capitalize()
+    return " ".join(words) + "."
+
+
+def _paragraph(rng: random.Random) -> str:
+    return " ".join(_sentence(rng) for _ in range(rng.randint(2, 6)))
+
+
+def generate_page(domain_name: str, category: str, seed: int = 0) -> str:
+    """Generate the canonical front page for a domain.
+
+    The page is fully determined by (domain_name, category, seed).
+    """
+    rng = derive_rng(seed, "page", domain_name)
+    # Log-normal page size, clipped: median ~30 KB, long right tail.
+    target = int(min(max(rng.lognormvariate(10.2, 0.8), 4_000), 400_000))
+    title = domain_name.split(".")[0].capitalize()
+
+    parts: List[str] = [
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n",
+        f"<title>{title} — {category}</title>\n",
+        f"<meta name=\"description\" content=\"{_sentence(rng)}\">\n",
+        "<link rel=\"stylesheet\" href=\"/static/main.css\">\n",
+        "<script src=\"/static/app.js\" defer></script>\n",
+        "</head>\n<body>\n<header>\n<nav>\n",
+    ]
+    for item in rng.sample(_NAV_ITEMS, k=6):
+        parts.append(f"<a href=\"/{item.lower().replace(' ', '-')}\">{item}</a>\n")
+    parts.append("</nav>\n")
+    # Account features: present on every page; removed for countries a
+    # site degrades (application-layer discrimination, §7.3).
+    parts.append(
+        "<div id=\"account\">\n"
+        "<a class=\"login\" href=\"/login\">Sign in</a>\n"
+        "<a class=\"register\" href=\"/register\">Create account</a>\n"
+        "</div>\n"
+    )
+    parts.append(f"</header>\n<main>\n<h1>{title}</h1>\n")
+    if category in ("Shopping", "Travel", "Auctions", "Personal Vehicles"):
+        # Price blocks enable price-discrimination modelling: the world
+        # rewrites data-amount per country for discriminating sites.
+        for product in range(3):
+            amount = round(rng.uniform(8, 400), 2)
+            parts.append(
+                f"<div class=\"product\" id=\"p{product}\">"
+                f"<span class=\"price\" data-amount=\"{amount:.2f}\">"
+                f"${amount:.2f}</span></div>\n"
+            )
+    while sum(len(p) for p in parts) < target:
+        parts.append(f"<section>\n<h2>{_sentence(rng)}</h2>\n")
+        for _ in range(rng.randint(1, 4)):
+            parts.append(f"<p>{_paragraph(rng)}</p>\n")
+        parts.append("</section>\n")
+    parts.append(
+        f"</main>\n<footer>\n<p>&copy; 2018 {title}. All rights reserved.</p>\n"
+        "</footer>\n</body>\n</html>\n"
+    )
+    return "".join(parts)
+
+
+_ACCOUNT_RE = None
+
+
+def degrade_page(page: str, remove_account: bool = False,
+                 price_multiplier: float = 1.0) -> str:
+    """Apply application-layer discrimination to a page.
+
+    ``remove_account`` drops the login/register block (feature removal);
+    ``price_multiplier`` rescales every price (price discrimination).
+    Both leave the page length within normal sample-to-sample variation,
+    which is why blockpage-oriented pipelines cannot see this (§7.3).
+    """
+    import re
+    global _ACCOUNT_RE
+    result = page
+    if remove_account:
+        if _ACCOUNT_RE is None:
+            _ACCOUNT_RE = re.compile(
+                r'<div id="account">.*?</div>\n', re.DOTALL)
+        result = _ACCOUNT_RE.sub("<div id=\"account\"></div>\n", result)
+    if price_multiplier != 1.0:
+        def rescale(match: "re.Match") -> str:
+            amount = float(match.group(1)) * price_multiplier
+            return (f'<span class="price" data-amount="{amount:.2f}">'
+                    f'${amount:.2f}</span>')
+        result = re.sub(
+            r'<span class="price" data-amount="([0-9.]+)">\$[0-9.]+</span>',
+            rescale, result)
+    return result
+
+
+def sample_jitter(base_page: str, rng: random.Random, max_fraction: float = 0.04) -> str:
+    """Return a per-sample variant of a page.
+
+    Real pages differ slightly between loads; we append a dynamic-content
+    comment whose size is uniform in [0, max_fraction × len(page)].
+    """
+    pad = rng.randint(0, max(1, int(len(base_page) * max_fraction)))
+    token = "".join(rng.choice("abcdefghij0123456789") for _ in range(16))
+    filler = "x" * pad
+    return base_page + f"<!-- dyn:{token}:{filler} -->\n"

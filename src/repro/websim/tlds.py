@@ -1,0 +1,68 @@
+"""Top-level-domain distribution for the synthetic Alexa population.
+
+Table 5 of the paper shows that geoblocking sites are dominated by ``.com``
+(70 of 100), with ``.net``/``.org`` and a scattering of country TLDs — which
+the authors attribute simply to the prevalence of ``.com`` in the Top 10K.
+We therefore give the population a realistic TLD mix and let the table fall
+out of the census.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+#: (tld, weight) — weights approximate the Alexa Top-1M TLD mix circa 2018.
+TLD_WEIGHTS: Sequence[Tuple[str, float]] = (
+    ("com", 0.52),
+    ("net", 0.05),
+    ("org", 0.05),
+    ("ru", 0.04),
+    ("de", 0.03),
+    ("jp", 0.022),
+    ("in", 0.02),
+    ("br", 0.02),
+    ("fr", 0.018),
+    ("it", 0.016),
+    ("uk", 0.016),
+    ("pl", 0.012),
+    ("ir", 0.012),
+    ("cn", 0.012),
+    ("au", 0.01),
+    ("es", 0.01),
+    ("nl", 0.009),
+    ("ca", 0.009),
+    ("io", 0.009),
+    ("co", 0.008),
+    ("info", 0.008),
+    ("tv", 0.006),
+    ("me", 0.006),
+    ("us", 0.006),
+    ("gr", 0.005),
+    ("cz", 0.005),
+    ("se", 0.005),
+    ("ch", 0.005),
+    ("tr", 0.005),
+    ("kr", 0.005),
+    ("tw", 0.004),
+    ("mx", 0.004),
+    ("ar", 0.004),
+    ("id", 0.004),
+    ("vn", 0.004),
+    ("ua", 0.004),
+    ("sg", 0.003),
+    ("za", 0.003),
+    ("edu", 0.003),
+    ("gov", 0.002),
+)
+
+
+def pick_tld(rng: random.Random) -> str:
+    """Draw a TLD from the weighted distribution."""
+    tlds, weights = zip(*TLD_WEIGHTS)
+    return rng.choices(tlds, weights=weights, k=1)[0]
+
+
+def all_tlds() -> List[str]:
+    """All TLDs in the distribution."""
+    return [t for t, _ in TLD_WEIGHTS]

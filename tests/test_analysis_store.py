@@ -1,0 +1,79 @@
+"""Tests for experiment-report persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentReport
+from repro.analysis.figures import FigureData
+from repro.analysis.store import load_report, save_report
+from repro.analysis.tables import TableData
+
+
+def _report():
+    report = ExperimentReport()
+    table = TableData(title="T", columns=["A", "B"])
+    table.rows.append(["x", 1])
+    report.tables["table1"] = table
+    figure = FigureData(title="F", x_label="x", y_label="y")
+    figure.add_series("s", [(0.0, 0.0), (1.0, 0.5)])
+    report.figures["figure1"] = figure
+    report.findings["metric"] = 0.42
+    report.findings["countries"] = ["IR", "SY"]
+    return report
+
+
+class TestRoundtrip:
+    def test_findings_preserved(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(_report(), path)
+        loaded = load_report(path)
+        assert loaded.findings["metric"] == 0.42
+        assert loaded.findings["countries"] == ["IR", "SY"]
+
+    def test_tables_preserved(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(_report(), path)
+        loaded = load_report(path)
+        table = loaded.tables["table1"]
+        assert table.title == "T"
+        assert table.columns == ["A", "B"]
+        assert table.rows == [["x", 1]]
+
+    def test_figures_preserved(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(_report(), path)
+        loaded = load_report(path)
+        figure = loaded.figures["figure1"]
+        assert figure.series["s"] == [(0.0, 0.0), (1.0, 0.5)]
+
+    def test_rendering_survives_roundtrip(self, tmp_path):
+        path = tmp_path / "report.json"
+        original = _report()
+        save_report(original, path)
+        loaded = load_report(path)
+        assert loaded.to_markdown() == original.to_markdown()
+
+    def test_validation_works_on_loaded(self, tmp_path):
+        from repro.analysis.validation import validate_findings
+        path = tmp_path / "report.json"
+        report = ExperimentReport()
+        report.findings["top10k.gt_precision"] = 1.0
+        save_report(report, path)
+        results = validate_findings(load_report(path).findings)
+        assert results and results[0].passed
+
+
+class TestErrors:
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_report(path)
+
+    def test_empty_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(ExperimentReport(), path)
+        loaded = load_report(path)
+        assert not loaded.tables
+        assert not loaded.figures

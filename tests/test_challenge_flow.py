@@ -1,0 +1,186 @@
+"""Tests for the cookie jar and the challenge-solving browser flow."""
+
+import pytest
+
+from repro.httpsim.cookies import CookieJar
+from repro.httpsim.messages import Headers
+from repro.proxynet.browser import InteractiveBrowser
+from repro.websim.world import World, WorldConfig
+
+
+class TestCookieJar:
+    def test_set_and_get(self):
+        jar = CookieJar()
+        jar.set_cookie("e.com", "a", "1")
+        assert jar.get("e.com", "a") == "1"
+        assert jar.get("e.com", "b") is None
+
+    def test_www_folded_to_apex(self):
+        jar = CookieJar()
+        jar.set_cookie("www.e.com", "a", "1")
+        assert jar.get("e.com", "a") == "1"
+        assert jar.cookie_header("www.e.com") == "a=1"
+
+    def test_update_from_response(self):
+        jar = CookieJar()
+        headers = Headers([
+            ("Set-Cookie", "cf_clearance=tok123; path=/; HttpOnly"),
+            ("Set-Cookie", "session=abc"),
+            ("Set-Cookie", "malformed-no-equals"),
+        ])
+        assert jar.update_from_response("e.com", headers) == 2
+        assert jar.get("e.com", "cf_clearance") == "tok123"
+        assert jar.get("e.com", "session") == "abc"
+
+    def test_cookie_header_joins(self):
+        jar = CookieJar()
+        jar.set_cookie("e.com", "a", "1")
+        jar.set_cookie("e.com", "b", "2")
+        assert jar.cookie_header("e.com") == "a=1; b=2"
+
+    def test_apply(self):
+        jar = CookieJar()
+        jar.set_cookie("e.com", "a", "1")
+        headers = Headers()
+        jar.apply("e.com", headers)
+        assert headers.get("Cookie") == "a=1"
+
+    def test_apply_no_cookies_noop(self):
+        headers = Headers()
+        CookieJar().apply("e.com", headers)
+        assert "Cookie" not in headers
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.set_cookie("a.com", "x", "1")
+        jar.set_cookie("b.com", "y", "2")
+        jar.clear("a.com")
+        assert jar.get("a.com", "x") is None
+        assert jar.get("b.com", "y") == "2"
+        jar.clear()
+        assert jar.get("b.com", "y") is None
+
+    def test_hosts_isolated(self):
+        jar = CookieJar()
+        jar.set_cookie("a.com", "x", "1")
+        assert jar.get("b.com", "x") is None
+
+
+@pytest.fixture(scope="module")
+def challenge_world():
+    return World(WorldConfig.tiny(seed=5))
+
+
+def _challenged_pair(world, kind):
+    """Find (domain, country) where the policy challenges the country."""
+    from repro.websim import blockpages
+    wanted = (blockpages.CLOUDFLARE_JS if kind == "js"
+              else blockpages.CLOUDFLARE_CAPTCHA)
+    for name, policy in world.policies.items():
+        if policy.challenge_page != wanted:
+            continue
+        domain = world.population.get(name)
+        if domain.dead or domain.redirect_loop or domain.censored_in:
+            continue
+        if policy.challenge_all:
+            open_countries = [c for c in world.registry.luminati_codes()
+                              if not policy.blocks(c, None, 0)]
+            if open_countries:
+                return name, open_countries[0]
+        for country in sorted(policy.challenge_countries):
+            if (country in world.registry
+                    and world.registry.get(country).luminati
+                    and not policy.blocks(country, None, 0)):
+                return name, country
+    return None, None
+
+
+class TestJsChallengeFlow:
+    def test_browser_passes_js_challenge(self, challenge_world):
+        name, country = _challenged_pair(challenge_world, "js")
+        if name is None:
+            pytest.skip("no JS-challenged pair in this world")
+        ip = challenge_world.residential_address(country)
+        browser = InteractiveBrowser(challenge_world, ip)
+        result = browser.visit(f"http://{name}/")
+        assert result.ok
+        assert result.response.status == 200
+        assert result.challenges_solved == 1
+        assert result.solved_kinds == ["js"]
+        assert browser.cookies.get(name, "cf_clearance")
+
+    def test_clearance_cookie_reused(self, challenge_world):
+        name, country = _challenged_pair(challenge_world, "js")
+        if name is None:
+            pytest.skip("no JS-challenged pair in this world")
+        ip = challenge_world.residential_address(country)
+        browser = InteractiveBrowser(challenge_world, ip)
+        browser.visit(f"http://{name}/")
+        again = browser.visit(f"http://{name}/")
+        assert again.ok
+        assert again.challenges_solved == 0  # cookie skipped the challenge
+
+
+class TestCaptchaFlow:
+    def test_human_passes_captcha(self, challenge_world):
+        name, country = _challenged_pair(challenge_world, "captcha")
+        if name is None:
+            pytest.skip("no captcha-challenged pair in this world")
+        ip = challenge_world.residential_address(country)
+        browser = InteractiveBrowser(challenge_world, ip, human=True)
+        result = browser.visit(f"http://{name}/")
+        assert result.ok
+        assert result.response.status == 200
+        assert result.solved_kinds == ["captcha"]
+
+    def test_bot_stuck_at_captcha(self, challenge_world):
+        name, country = _challenged_pair(challenge_world, "captcha")
+        if name is None:
+            pytest.skip("no captcha-challenged pair in this world")
+        ip = challenge_world.residential_address(country)
+        browser = InteractiveBrowser(challenge_world, ip, human=False)
+        result = browser.visit(f"http://{name}/")
+        assert result.ok
+        assert result.response.status == 403  # still the captcha page
+        assert result.challenges_solved == 0
+
+
+class TestSolveEndpoint:
+    def test_malformed_solve_rejected(self, challenge_world):
+        from repro.httpsim.messages import Request
+        from repro.httpsim.url import parse_url
+        from repro.httpsim.useragent import browser_headers
+        name, country = _challenged_pair(challenge_world, "js")
+        if name is None:
+            pytest.skip("no challenged pair")
+        ip = challenge_world.residential_address(country)
+        request = Request(
+            url=parse_url(f"http://{name}/cdn-cgi/l/chk_jschl?bogus=1"),
+            headers=browser_headers())
+        response = challenge_world.fetch(request, ip)
+        assert response.status == 403  # captcha page, no clearance
+        assert "Set-Cookie" not in response.headers
+
+    def test_challenge_does_not_grant_access_to_blocked(self, challenge_world):
+        # Geoblocking outranks challenges: a blocked country cannot solve
+        # its way in (the block check runs first).
+        from repro.websim import blockpages
+        for name, policy in challenge_world.policies.items():
+            if not policy.is_geoblocking or policy.action != "page":
+                continue
+            domain = challenge_world.population.get(name)
+            if domain.dead or domain.redirect_loop or domain.censored_in:
+                continue
+            country = next(
+                (c for c in sorted(policy.blocked_countries)
+                 if c in challenge_world.registry
+                 and challenge_world.registry.get(c).luminati), None)
+            if country is None:
+                continue
+            import random
+            ip = challenge_world.residential_address(country, random.Random(0))
+            browser = InteractiveBrowser(challenge_world, ip, human=True)
+            result = browser.visit(f"http://{name}/")
+            if result.ok and result.response.status == 403:
+                return  # still blocked despite a willing human
+        pytest.skip("no reachable page-blocking pair")

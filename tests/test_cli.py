@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == "tiny"
+        assert args.seed == 7
+        assert not args.markdown
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "10"])
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "6"])
+
+    def test_scale_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic", "run"])
+
+    def test_validate_subcommand_parses(self):
+        args = build_parser().parse_args(["--scale", "nano", "validate"])
+        assert args.command == "validate"
+
+
+class TestCommands:
+    def test_top10k_command(self, capsys):
+        assert main(["--scale", "nano", "top10k"]) == 0
+        out = capsys.readouterr().out
+        assert "confirmed instances:" in out
+
+    def test_table_command(self, capsys):
+        assert main(["--scale", "nano", "table", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out
+
+    def test_figure_command(self, capsys):
+        assert main(["--scale", "nano", "figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_run_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(["--scale", "nano", "run", "--markdown",
+                     "--no-top1m", "--no-vps", "--no-ooni",
+                     "--out", str(out_file)])
+        assert code == 0
+        content = out_file.read_text()
+        assert "### Table 1" in content

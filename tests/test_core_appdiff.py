@@ -1,0 +1,138 @@
+"""Tests for application-layer discrimination detection (§7.3 extension)."""
+
+import pytest
+
+from repro.core.appdiff import (
+    AppDiffFinding,
+    AppDiffResult,
+    extract_features,
+    run_appdiff_study,
+)
+from repro.proxynet.luminati import LuminatiClient
+from repro.websim.content import degrade_page, generate_page
+from repro.websim.world import World, WorldConfig
+
+
+class TestExtractFeatures:
+    def test_full_page(self):
+        page = generate_page("shop.com", "Shopping", seed=1)
+        features = extract_features(page)
+        assert features.has_login
+        assert features.has_register
+        assert len(features.prices) == 3
+
+    def test_non_commerce_has_no_prices(self):
+        page = generate_page("news.com", "News and Media", seed=1)
+        features = extract_features(page)
+        assert features.has_login
+        assert features.prices == ()
+
+    def test_degraded_page_loses_account(self):
+        page = generate_page("shop.com", "Shopping", seed=1)
+        degraded = degrade_page(page, remove_account=True)
+        features = extract_features(degraded)
+        assert not features.has_login
+        assert not features.has_register
+        assert len(features.prices) == 3  # prices untouched
+
+    def test_price_multiplier(self):
+        page = generate_page("shop.com", "Shopping", seed=1)
+        raised = degrade_page(page, price_multiplier=1.25)
+        base = extract_features(page).prices
+        new = extract_features(raised).prices
+        for b, n in zip(base, new):
+            assert n == pytest.approx(b * 1.25, abs=0.011)
+
+    def test_degradation_preserves_length_roughly(self):
+        # The reason blockpage pipelines miss this: the page barely shrinks.
+        page = generate_page("shop.com", "Shopping", seed=1)
+        degraded = degrade_page(page, remove_account=True,
+                                price_multiplier=1.3)
+        assert abs(len(page) - len(degraded)) / len(page) < 0.05
+
+
+@pytest.fixture(scope="module")
+def degraded_world():
+    return World(WorldConfig.tiny(seed=3))
+
+
+class TestStudy:
+    def _targets(self, world, kind):
+        out = []
+        for name, degradation in world.degradations.items():
+            domain = world.population.get(name)
+            if (domain.dead or domain.redirect_loop or domain.censored_in
+                    or name in world.policies):
+                continue
+            if kind == "feature" and degradation.remove_account_countries:
+                reachable = [c for c in degradation.remove_account_countries
+                             if c in world.registry
+                             and world.registry.get(c).luminati]
+                if reachable:
+                    out.append((name, sorted(reachable)))
+            if kind == "price" and degradation.price_multipliers:
+                reachable = [c for c in degradation.price_multipliers
+                             if c in world.registry
+                             and world.registry.get(c).luminati]
+                if reachable:
+                    out.append((name, sorted(reachable)))
+        return out
+
+    def test_detects_feature_removal(self, degraded_world):
+        targets = self._targets(degraded_world, "feature")
+        if not targets:
+            pytest.skip("no feature-degrading domain in this world")
+        name, blocked = targets[0]
+        luminati = LuminatiClient(degraded_world)
+        countries = [c for c in degraded_world.registry.luminati_codes()][:14]
+        countries = sorted(set(countries) | set(blocked[:2]))
+        result = run_appdiff_study(luminati, [name], countries, samples=2)
+        flagged = {(f.domain, f.country)
+                   for f in result.by_kind("feature-removal")}
+        assert any((name, c) in flagged for c in blocked)
+
+    def test_detects_price_discrimination(self, degraded_world):
+        targets = self._targets(degraded_world, "price")
+        if not targets:
+            pytest.skip("no price-discriminating domain in this world")
+        name, raised = targets[0]
+        luminati = LuminatiClient(degraded_world)
+        countries = [c for c in degraded_world.registry.luminati_codes()][:14]
+        countries = sorted(set(countries) | set(raised[:2]))
+        result = run_appdiff_study(luminati, [name], countries, samples=2)
+        price_findings = {f.country: f for f in result.by_kind("price")
+                          if f.domain == name}
+        hits = [c for c in raised if c in price_findings]
+        assert hits
+        truth = degraded_world.degradations[name].price_multipliers
+        for country in hits:
+            assert price_findings[country].price_ratio == pytest.approx(
+                truth[country], rel=0.03)
+
+    def test_clean_domains_not_flagged(self, degraded_world):
+        clean = [d.name for d in degraded_world.population
+                 if d.name not in degraded_world.degradations
+                 and d.name not in degraded_world.policies
+                 and not d.dead and not d.redirect_loop
+                 and not d.censored_in][:6]
+        luminati = LuminatiClient(degraded_world)
+        countries = degraded_world.registry.luminati_codes()[:10]
+        result = run_appdiff_study(luminati, clean, countries, samples=2)
+        assert result.findings == []
+
+    def test_too_few_countries_skipped(self, degraded_world):
+        luminati = LuminatiClient(degraded_world)
+        domain = next(iter(degraded_world.population)).name
+        result = run_appdiff_study(luminati, [domain], ["US"], samples=1)
+        assert result.findings == []
+
+
+class TestResultApi:
+    def test_by_kind_and_domains(self):
+        result = AppDiffResult(findings=[
+            AppDiffFinding("a.com", "CN", "feature-removal", "x"),
+            AppDiffFinding("a.com", "US", "price", "y", price_ratio=1.2),
+            AppDiffFinding("b.com", "DE", "price", "z", price_ratio=1.3),
+        ])
+        assert len(result.by_kind("price")) == 2
+        assert result.domains_with_findings() == ["a.com", "b.com"]

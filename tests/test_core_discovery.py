@@ -1,0 +1,141 @@
+"""Tests for semi-automated signature discovery."""
+
+import random
+
+import pytest
+
+from repro.core.discovery import (
+    cluster_outliers,
+    discover,
+    extract_signature,
+    label_cluster,
+    registry_from_discovery,
+)
+from repro.core.fingerprints import FingerprintRegistry
+from repro.websim import blockpages
+from repro.websim.content import generate_page
+
+
+@pytest.fixture
+def rng():
+    return random.Random(17)
+
+
+def _bodies(rng, page_type, n, host="h.com", country="IR"):
+    return [blockpages.render(page_type, rng, host, country).body
+            for _ in range(n)]
+
+
+@pytest.fixture
+def background():
+    return [generate_page(f"bg{i}.com", "Business", seed=2)[:6000]
+            for i in range(5)]
+
+
+class TestClusterOutliers:
+    def test_same_template_clusters_together(self, rng):
+        bodies = _bodies(rng, blockpages.AKAMAI_BLOCK, 8)
+        result = cluster_outliers(bodies)
+        assert len(set(result.labels)) == 1
+
+    def test_different_templates_separate(self, rng):
+        bodies = (_bodies(rng, blockpages.AKAMAI_BLOCK, 5)
+                  + _bodies(rng, blockpages.CLOUDFRONT_BLOCK, 5))
+        result = cluster_outliers(bodies)
+        assert len(set(result.labels)) == 2
+        assert result.labels[0] == result.labels[4]
+        assert result.labels[5] == result.labels[9]
+
+
+class TestExtractSignature:
+    def test_markers_in_all_members(self, rng, background):
+        members = _bodies(rng, blockpages.CLOUDFRONT_BLOCK, 6)
+        markers = extract_signature(members, background)
+        assert markers
+        from repro.textutil.htmltext import extract_text
+        for marker in markers:
+            for member in members:
+                assert marker in extract_text(member).lower()
+
+    def test_markers_absent_from_background(self, rng, background):
+        members = _bodies(rng, blockpages.APPENGINE_BLOCK, 4)
+        markers = extract_signature(members, background)
+        from repro.textutil.htmltext import extract_text
+        for marker in markers:
+            for doc in background:
+                assert marker not in extract_text(doc).lower()
+
+    def test_markers_avoid_instance_ids(self, rng, background):
+        # Ray IDs differ per instance, so they can't be common to all.
+        members = _bodies(rng, blockpages.CLOUDFLARE_BLOCK, 6)
+        markers = extract_signature(members, background)
+        assert markers
+        fresh = blockpages.render(blockpages.CLOUDFLARE_BLOCK, rng,
+                                  "h.com", "IR").body
+        from repro.textutil.htmltext import extract_text
+        fresh_text = extract_text(fresh).lower()
+        assert all(m in fresh_text for m in markers)
+
+    def test_empty_members(self, background):
+        assert extract_signature([], background) == ()
+
+
+class TestLabelCluster:
+    def test_known_page_labelled(self, rng):
+        body = blockpages.render(blockpages.INCAPSULA_BLOCK, rng,
+                                 "h.com", "IR").body
+        assert label_cluster(body) == blockpages.INCAPSULA_BLOCK
+
+    def test_unknown_page_unlabelled(self):
+        assert label_cluster("<html><body>Random short page</body></html>") is None
+
+
+class TestDiscover:
+    def test_end_to_end(self, rng, background):
+        bodies = (_bodies(rng, blockpages.CLOUDFLARE_BLOCK, 6)
+                  + _bodies(rng, blockpages.AKAMAI_BLOCK, 4)
+                  + ["<html><body>junk page</body></html>"] * 3)
+        clusters = discover(bodies, background)
+        labelled = {c.page_type for c in clusters if c.page_type}
+        assert blockpages.CLOUDFLARE_BLOCK in labelled
+        assert blockpages.AKAMAI_BLOCK in labelled
+
+    def test_largest_first_ordering(self, rng, background):
+        bodies = (_bodies(rng, blockpages.CLOUDFLARE_BLOCK, 8)
+                  + _bodies(rng, blockpages.SOASTA_BLOCK, 2))
+        clusters = discover(bodies, background)
+        assert clusters[0].size >= clusters[-1].size
+
+    def test_min_cluster_size(self, rng, background):
+        bodies = (_bodies(rng, blockpages.CLOUDFLARE_BLOCK, 5)
+                  + _bodies(rng, blockpages.VARNISH_403, 1))
+        clusters = discover(bodies, background, min_cluster_size=3)
+        assert all(c.size >= 3 for c in clusters)
+
+    def test_discovered_fingerprints_match_fresh_instances(self, rng, background):
+        bodies = _bodies(rng, blockpages.CLOUDFRONT_BLOCK, 6)
+        clusters = discover(bodies, background)
+        registry = registry_from_discovery(clusters,
+                                           base=FingerprintRegistry(fingerprints=()))
+        fresh = blockpages.render(blockpages.CLOUDFRONT_BLOCK, rng,
+                                  "new-host.org", "SY").body
+        # Discovered markers are plain-text n-grams; match against the
+        # extracted text of the fresh page.
+        from repro.textutil.htmltext import extract_text
+        assert registry.match(extract_text(fresh).lower()) == \
+            blockpages.CLOUDFRONT_BLOCK
+
+
+class TestRegistryFromDiscovery:
+    def test_base_preserved(self, rng, background):
+        clusters = discover(_bodies(rng, blockpages.BAIDU_BLOCK, 4), background)
+        base = FingerprintRegistry.default()
+        merged = registry_from_discovery(clusters, base=base)
+        assert set(merged.page_types()) == set(base.page_types())
+
+    def test_unlabelled_skipped(self, background):
+        clusters = discover(["<html><body>mystery</body></html>"] * 3,
+                            background)
+        registry = registry_from_discovery(
+            clusters, base=FingerprintRegistry(fingerprints=()))
+        assert len(registry) == 0

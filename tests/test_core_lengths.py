@@ -1,0 +1,126 @@
+"""Tests for the page-length outlier heuristic."""
+
+import pytest
+
+from repro.core.lengths import (
+    extract_outliers,
+    relative_differences,
+    representative_lengths,
+)
+from repro.lumscan.records import NO_RESPONSE, ScanDataset
+
+
+def _dataset():
+    data = ScanDataset()
+    # a.com: normal ~10k, blocked page 500 in IR.
+    data.append("a.com", "US", 200, 10_000, None)
+    data.append("a.com", "US", 200, 10_300, None)
+    data.append("a.com", "DE", 200, 9_900, None)
+    data.append("a.com", "IR", 403, 500, "<html>block</html>")
+    # b.com: page varies mildly, never blocked.
+    data.append("b.com", "US", 200, 8_000, None)
+    data.append("b.com", "IR", 200, 7_800, None)
+    # c.com: errors only.
+    data.append("c.com", "US", NO_RESPONSE, 0, None, error="timeout")
+    return data
+
+
+class TestRepresentatives:
+    def test_max_length_wins(self):
+        reps = representative_lengths(_dataset())
+        assert reps["a.com"] == 10_300
+        assert reps["b.com"] == 8_000
+
+    def test_errors_excluded(self):
+        assert "c.com" not in representative_lengths(_dataset())
+
+    def test_country_restriction(self):
+        reps = representative_lengths(_dataset(), reference_countries=["DE"])
+        assert reps["a.com"] == 9_900
+        assert "b.com" not in reps
+
+    def test_block_pages_contribute(self):
+        # A domain blocked everywhere has the block page as representative
+        # (which is why Table 2 recall < 100%).
+        data = ScanDataset()
+        data.append("x.com", "IR", 403, 400, "<html>block</html>")
+        assert representative_lengths(data)["x.com"] == 400
+
+
+class TestExtractOutliers:
+    def test_block_page_flagged(self):
+        data = _dataset()
+        outliers = extract_outliers(data, representative_lengths(data))
+        assert [(o.sample.domain, o.sample.country) for o in outliers] == [
+            ("a.com", "IR")]
+
+    def test_relative_difference_value(self):
+        data = _dataset()
+        outlier = extract_outliers(data, representative_lengths(data))[0]
+        assert outlier.relative_difference == pytest.approx(
+            (10_300 - 500) / 10_300)
+
+    def test_mild_variation_not_flagged(self):
+        data = _dataset()
+        outliers = extract_outliers(data, representative_lengths(data))
+        assert all(o.sample.domain != "b.com" for o in outliers)
+
+    def test_cutoff_sensitivity(self):
+        data = _dataset()
+        reps = representative_lengths(data)
+        tight = extract_outliers(data, reps, cutoff=0.01)
+        loose = extract_outliers(data, reps, cutoff=0.9)
+        assert len(tight) >= len(extract_outliers(data, reps))
+        assert len(loose) <= 1
+
+    def test_cutoff_validation(self):
+        data = _dataset()
+        with pytest.raises(ValueError):
+            extract_outliers(data, {}, cutoff=0.0)
+        with pytest.raises(ValueError):
+            extract_outliers(data, {}, cutoff=1.0)
+
+    def test_raw_cutoff_mode(self):
+        data = _dataset()
+        reps = representative_lengths(data)
+        outliers = extract_outliers(data, reps, raw_cutoff=5_000)
+        assert [(o.sample.domain, o.sample.country) for o in outliers] == [
+            ("a.com", "IR")]
+        none = extract_outliers(data, reps, raw_cutoff=50_000)
+        assert none == []
+
+    def test_raw_cutoff_penalizes_long_pages(self):
+        # The §4.1.5 observation: raw cutoffs flag big pages' natural
+        # variation while missing short pages' blocks.
+        data = ScanDataset()
+        data.append("big.com", "US", 200, 400_000, None)
+        data.append("big.com", "DE", 200, 360_000, None)   # -10%, normal
+        data.append("small.com", "US", 200, 2_000, "x" * 2_000)
+        data.append("small.com", "IR", 403, 900, "<html>block</html>")  # -55%
+        reps = representative_lengths(data)
+        raw = extract_outliers(data, reps, raw_cutoff=30_000)
+        raw_keys = {(o.sample.domain, o.sample.country) for o in raw}
+        assert ("big.com", "DE") in raw_keys          # false alarm
+        assert ("small.com", "IR") not in raw_keys    # miss
+        pct = extract_outliers(data, reps, cutoff=0.30)
+        pct_keys = {(o.sample.domain, o.sample.country) for o in pct}
+        assert ("big.com", "DE") not in pct_keys
+        assert ("small.com", "IR") in pct_keys
+
+    def test_missing_representative_skipped(self):
+        data = ScanDataset()
+        data.append("solo.com", "US", 200, 100, "x")
+        assert extract_outliers(data, {}) == []
+
+
+class TestRelativeDifferences:
+    def test_counts_valid_samples(self):
+        data = _dataset()
+        diffs = relative_differences(data, representative_lengths(data))
+        assert len(diffs) == 6  # the error row is excluded
+
+    def test_body_flag(self):
+        data = _dataset()
+        diffs = relative_differences(data, representative_lengths(data))
+        with_body = [d for d, has_body in diffs if has_body]
+        assert len(with_body) == 1

@@ -1,0 +1,115 @@
+"""Tests for recall evaluation and ground-truth scoring."""
+
+import random
+
+import pytest
+
+from repro.core.metrics import (
+    GroundTruthScore,
+    overall_recall,
+    recall_by_fingerprint,
+    score_confirmed_blocks,
+)
+from repro.core.resample import ConfirmedBlock
+from repro.lumscan.records import ScanDataset
+from repro.websim import blockpages
+
+
+@pytest.fixture
+def rng():
+    return random.Random(23)
+
+
+def _dataset(rng):
+    data = ScanDataset()
+    # blocked.com: representative 10k; block page ~500 (flagged).
+    data.append("blocked.com", "US", 200, 10_000, None)
+    body = blockpages.render(blockpages.CLOUDFLARE_BLOCK, rng,
+                             "blocked.com", "IR").body
+    data.append("blocked.com", "IR", 403, len(body), body)
+    # sneaky.com: block page as long as the real page (missed by the
+    # heuristic — the Table 2 recall < 100% phenomenon).
+    body2 = blockpages.render(blockpages.CLOUDFLARE_BLOCK, rng,
+                              "sneaky.com", "IR").body
+    data.append("sneaky.com", "US", 200, len(body2), "x" * len(body2))
+    data.append("sneaky.com", "IR", 403, len(body2), body2)
+    return data
+
+
+class TestRecall:
+    def test_recall_rows(self, rng):
+        data = _dataset(rng)
+        from repro.core.lengths import representative_lengths
+        reps = representative_lengths(data)
+        rows = recall_by_fingerprint(data, reps, cutoff=0.30)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.display_name == "Cloudflare"
+        assert row.actual == 2
+        assert row.recalled == 1
+        assert row.recall == 0.5
+
+    def test_overall_recall(self, rng):
+        data = _dataset(rng)
+        from repro.core.lengths import representative_lengths
+        rows = recall_by_fingerprint(data, representative_lengths(data))
+        assert overall_recall(rows) == 0.5
+
+    def test_overall_recall_empty(self):
+        assert overall_recall([]) == 1.0
+
+    def test_country_restriction(self, rng):
+        data = _dataset(rng)
+        from repro.core.lengths import representative_lengths
+        reps = representative_lengths(data)
+        rows = recall_by_fingerprint(data, reps, restrict_countries=["US"])
+        assert rows == []
+
+
+class TestGroundTruthScore:
+    def test_precision_recall_math(self):
+        score = GroundTruthScore(true_positives=8, false_positives=2,
+                                 false_negatives=2)
+        assert score.precision == 0.8
+        assert score.recall == 0.8
+        assert score.f1 == pytest.approx(0.8)
+
+    def test_empty_edge_cases(self):
+        empty = GroundTruthScore(0, 0, 0)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+
+    def test_score_confirmed_blocks(self, nano_world):
+        # Build confirmed records straight from ground truth: perfect score.
+        confirmed = []
+        tested_domains = []
+        countries = nano_world.registry.luminati_codes()
+        for name, policy in nano_world.policies.items():
+            if not policy.is_geoblocking or not policy.active(1):
+                continue
+            if policy.block_page not in blockpages.EXPLICIT_GEOBLOCK_TYPES:
+                continue
+            tested_domains.append(name)
+            for country in policy.blocked_countries:
+                if country in countries:
+                    confirmed.append(ConfirmedBlock(
+                        domain=name, country=country,
+                        page_type=policy.block_page,
+                        provider=policy.enforcer, agreement=1.0,
+                        total_samples=23))
+        score = score_confirmed_blocks(nano_world, confirmed, tested_domains,
+                                       countries)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_score_counts_misses(self, nano_world):
+        countries = nano_world.registry.luminati_codes()
+        tested = [name for name, p in nano_world.policies.items()
+                  if p.is_geoblocking
+                  and p.block_page in blockpages.EXPLICIT_GEOBLOCK_TYPES
+                  and p.active(1)]
+        if not tested:
+            pytest.skip("no explicit geoblockers")
+        score = score_confirmed_blocks(nano_world, [], tested, countries)
+        assert score.recall == 0.0
+        assert score.false_negatives > 0

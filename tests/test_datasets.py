@@ -1,0 +1,120 @@
+"""Tests for the Alexa, FortiGuard, and Citizen Lab dataset services."""
+
+import pytest
+
+from repro.datasets.alexa import AlexaList
+from repro.datasets.citizenlab import CitizenLabList
+from repro.datasets.fortiguard import FortiGuardClient
+
+
+@pytest.fixture(scope="module")
+def alexa(nano_world):
+    return AlexaList(nano_world.population)
+
+
+@pytest.fixture(scope="module")
+def fortiguard(nano_world):
+    return FortiGuardClient(nano_world.population, nano_world.taxonomy, seed=1)
+
+
+@pytest.fixture(scope="module")
+def citizenlab(tiny_world):
+    return CitizenLabList(tiny_world.population, tiny_world.taxonomy, seed=1)
+
+
+class TestAlexa:
+    def test_top_ordering(self, alexa, nano_world):
+        top = alexa.top(5)
+        assert top == [d.name for d in nano_world.population.top(5)]
+
+    def test_top10k_caps_at_population(self, alexa, nano_world):
+        assert len(alexa.top10k()) == len(nano_world.population)
+
+    def test_full(self, alexa, nano_world):
+        assert len(alexa.full()) == len(nano_world.population)
+
+    def test_sample_deterministic(self, alexa):
+        domains = alexa.full()
+        a = alexa.sample(domains, 0.1, seed=3)
+        b = alexa.sample(domains, 0.1, seed=3)
+        assert a == b
+
+    def test_sample_size(self, alexa):
+        domains = alexa.full()
+        sample = alexa.sample(domains, 0.25, seed=0)
+        assert len(sample) == round(len(domains) * 0.25)
+
+    def test_sample_fraction_validation(self, alexa):
+        with pytest.raises(ValueError):
+            alexa.sample(["a.com"], 0.0)
+        with pytest.raises(ValueError):
+            alexa.sample(["a.com"], 1.5)
+
+    def test_sample_subset(self, alexa):
+        domains = alexa.full()
+        assert set(alexa.sample(domains, 0.2, seed=1)) <= set(domains)
+
+
+class TestFortiGuard:
+    def test_unknown_domain_unrated(self, fortiguard):
+        assert fortiguard.categorize("never-generated.example") == "Unrated"
+
+    def test_unrated_is_unsafe(self, fortiguard):
+        assert not fortiguard.is_safe("never-generated.example")
+
+    def test_mostly_correct(self, fortiguard, nano_world):
+        wrong = sum(
+            1 for d in nano_world.population
+            if fortiguard.categorize(d.name) != d.category)
+        assert wrong / len(nano_world.population) < 0.05
+
+    def test_misfiles_are_deterministic(self, nano_world):
+        a = FortiGuardClient(nano_world.population, nano_world.taxonomy, seed=9)
+        b = FortiGuardClient(nano_world.population, nano_world.taxonomy, seed=9)
+        names = [d.name for d in nano_world.population][:100]
+        assert a.categorize_all(names) == b.categorize_all(names)
+
+    def test_filter_safe_removes_risky(self, nano_world):
+        fortiguard = FortiGuardClient(nano_world.population,
+                                      nano_world.taxonomy,
+                                      error_rate=0.0, seed=1)
+        names = [d.name for d in nano_world.population]
+        safe = fortiguard.filter_safe(names)
+        risky = set(nano_world.taxonomy.risky_names())
+        for name in safe:
+            assert nano_world.population.get(name).category not in risky
+
+    def test_error_rate_validation(self, nano_world):
+        with pytest.raises(ValueError):
+            FortiGuardClient(nano_world.population, error_rate=1.0)
+
+    def test_categorize_all(self, fortiguard, nano_world):
+        names = [d.name for d in nano_world.population][:10]
+        result = fortiguard.categorize_all(names)
+        assert set(result) == set(names)
+
+
+class TestCitizenLab:
+    def test_contains_censored_domains(self, citizenlab, tiny_world):
+        censored = [d.name for d in tiny_world.population if d.censored_in]
+        assert censored
+        for name in censored:
+            assert name in citizenlab
+
+    def test_contains_some_benign(self, citizenlab, tiny_world):
+        benign = [d for d in citizenlab.domains()
+                  if not tiny_world.population.get(d).censored_in]
+        assert benign
+
+    def test_filter_out(self, citizenlab, tiny_world):
+        names = [d.name for d in tiny_world.population]
+        kept = citizenlab.filter_out(names)
+        assert len(kept) == len(names) - sum(1 for n in names if n in citizenlab)
+
+    def test_deterministic(self, tiny_world):
+        a = CitizenLabList(tiny_world.population, tiny_world.taxonomy, seed=1)
+        b = CitizenLabList(tiny_world.population, tiny_world.taxonomy, seed=1)
+        assert a.domains() == b.domains()
+
+    def test_len(self, citizenlab):
+        assert len(citizenlab) == len(citizenlab.domains())

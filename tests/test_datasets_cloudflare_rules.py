@@ -1,0 +1,109 @@
+"""Tests for the Cloudflare firewall-rule dataset (§6)."""
+
+import datetime
+
+import pytest
+
+from repro.datasets.cloudflare_rules import (
+    BASELINE_TARGETS,
+    CloudflareRuleDataset,
+    SANCTIONS_BUNDLE,
+    TABLE9_TARGETS,
+    TIERS,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CloudflareRuleDataset.generate(n_zones=60_000, seed=5)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = CloudflareRuleDataset.generate(n_zones=2_000, seed=1)
+        b = CloudflareRuleDataset.generate(n_zones=2_000, seed=1)
+        assert len(a) == len(b)
+        assert [(r.zone_id, r.country) for r in a] == \
+            [(r.zone_id, r.country) for r in b]
+
+    def test_zone_counts_sum(self, dataset):
+        assert sum(dataset.zones(t) for t in TIERS) == 60_000
+
+    def test_tier_mix(self, dataset):
+        assert dataset.zones("free") > dataset.zones("enterprise")
+
+    def test_rule_fields_valid(self, dataset):
+        for rule in list(dataset)[:500]:
+            assert rule.tier in TIERS
+            assert rule.action in ("block", "challenge", "js_challenge")
+            assert rule.activated <= dataset.snapshot_date
+
+
+class TestCalibration:
+    def test_baselines_close_to_table9(self, dataset):
+        baselines = dataset.baseline_rates()
+        for tier, target in BASELINE_TARGETS.items():
+            assert baselines[tier] == pytest.approx(target, rel=0.25), tier
+
+    def test_enterprise_blocks_sanctions_most(self, dataset):
+        rates = dataset.country_rates()
+        # KP and IR lead the enterprise column (Table 9).
+        enterprise = {c: rates[c]["enterprise"] for c in rates}
+        top2 = sorted(enterprise, key=enterprise.get, reverse=True)[:2]
+        assert set(top2) <= {"KP", "IR", "SY", "SD"}
+
+    def test_free_tier_blocks_china_russia_most(self, dataset):
+        rates = dataset.country_rates()
+        free = {c: rates[c]["free"] for c in rates}
+        top2 = sorted(free, key=free.get, reverse=True)[:2]
+        assert set(top2) <= {"CN", "RU", "UA"}
+
+    def test_country_rates_close_to_targets(self, dataset):
+        rates = dataset.country_rates()
+        for country in ("RU", "KP", "IR", "CN"):
+            for tier_index, tier in enumerate(TIERS, start=1):
+                target = TABLE9_TARGETS[country][tier_index] / 100.0
+                measured = rates[country][tier]
+                assert measured == pytest.approx(target, rel=0.5, abs=0.002), (
+                    country, tier)
+
+
+class TestTemporalStructure:
+    def test_non_enterprise_blocks_only_in_regression(self, dataset):
+        start = datetime.date(2018, 4, 1)
+        for rule in dataset:
+            if rule.tier != "enterprise" and rule.action == "block":
+                assert rule.activated >= start
+
+    def test_enterprise_rules_span_years(self, dataset):
+        dates = [r.activated for r in dataset if r.tier == "enterprise"]
+        assert min(dates).year <= 2016
+        assert max(dates).year == 2018
+
+    def test_activation_series_cumulative(self, dataset):
+        series = dataset.activation_series(["IR", "KP"])
+        for country, points in series.items():
+            counts = [c for _, c in points]
+            assert counts == sorted(counts)
+            dates = [d for d, _ in points]
+            assert dates == sorted(dates)
+
+    def test_sanctions_bundle_correlated(self, dataset):
+        # Zones blocking IR usually also block the rest of the bundle
+        # within days (Figure 5's co-moving curves).
+        by_zone = {}
+        for rule in dataset:
+            if rule.tier == "enterprise" and rule.country in SANCTIONS_BUNDLE:
+                by_zone.setdefault(rule.zone_id, []).append(rule)
+        multi = [rules for rules in by_zone.values() if len(rules) >= 2]
+        assert multi
+        close = 0
+        for rules in multi:
+            dates = [r.activated for r in rules]
+            if (max(dates) - min(dates)).days <= 6:
+                close += 1
+        assert close / len(multi) > 0.9
+
+    def test_rules_activated_after(self, dataset):
+        recent = dataset.rules_activated_after(datetime.date(2018, 4, 1))
+        assert 0 < recent <= len(dataset)

@@ -1,0 +1,41 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take minutes, so CI-grade checks here are structural:
+each example parses, exposes a ``main``, and carries a usage docstring.
+(The examples are executed for real by `scripts/` usage and were part of
+the release checklist.)
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+class TestExampleStructure:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert tree is not None
+
+    def test_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {node.name for node in ast.walk(tree)
+                     if isinstance(node, ast.FunctionDef)}
+        assert "main" in functions
+
+    def test_has_docstring_with_run_line(self, path):
+        tree = ast.parse(path.read_text())
+        docstring = ast.get_docstring(tree)
+        assert docstring
+        assert "Run:" in docstring or "Usage" in docstring
+
+    def test_has_entrypoint_guard(self, path):
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+
+def test_at_least_six_examples():
+    assert len(EXAMPLES) >= 6

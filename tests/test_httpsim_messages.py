@@ -1,0 +1,111 @@
+"""Tests for Headers, Request, Response."""
+
+from repro.httpsim.messages import Headers, Request, Response
+from repro.httpsim.url import parse_url
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Type", "text/html")])
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_get_default(self):
+        assert Headers().get("X-Missing", "fallback") == "fallback"
+
+    def test_get_first_of_multiple(self):
+        headers = Headers([("Set-Cookie", "a=1"), ("Set-Cookie", "b=2")])
+        assert headers.get("set-cookie") == "a=1"
+
+    def test_get_all_preserves_order(self):
+        headers = Headers([("X", "1"), ("Y", "2"), ("X", "3")])
+        assert headers.get_all("x") == ["1", "3"]
+
+    def test_add_appends(self):
+        headers = Headers()
+        headers.add("A", "1")
+        headers.add("A", "2")
+        assert headers.get_all("A") == ["1", "2"]
+
+    def test_set_replaces_all(self):
+        headers = Headers([("A", "1"), ("a", "2")])
+        headers.set("A", "3")
+        assert headers.get_all("A") == ["3"]
+
+    def test_remove(self):
+        headers = Headers([("A", "1"), ("B", "2"), ("a", "3")])
+        headers.remove("a")
+        assert "A" not in headers
+        assert headers.get("B") == "2"
+
+    def test_contains(self):
+        headers = Headers([("CF-RAY", "abc")])
+        assert "cf-ray" in headers
+        assert "X-Other" not in headers
+
+    def test_contains_non_string(self):
+        assert 42 not in Headers([("A", "1")])
+
+    def test_len_counts_fields(self):
+        assert len(Headers([("A", "1"), ("A", "2")])) == 2
+
+    def test_copy_is_independent(self):
+        original = Headers([("A", "1")])
+        clone = original.copy()
+        clone.add("B", "2")
+        assert "B" not in original
+
+    def test_equality(self):
+        assert Headers([("A", "1")]) == Headers([("A", "1")])
+        assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+    def test_iteration_order(self):
+        pairs = [("B", "2"), ("A", "1")]
+        assert list(Headers(pairs)) == pairs
+
+
+class TestRequest:
+    def test_host_property(self):
+        request = Request(url=parse_url("http://example.com/x"))
+        assert request.host == "example.com"
+
+    def test_default_method(self):
+        assert Request(url=parse_url("http://e.com/")).method == "GET"
+
+    def test_with_url_keeps_headers(self):
+        request = Request(url=parse_url("http://a.com/"),
+                          headers=Headers([("X", "1")]))
+        retargeted = request.with_url(parse_url("https://b.com/"))
+        assert retargeted.url.host == "b.com"
+        assert retargeted.headers.get("X") == "1"
+
+    def test_with_url_copies_headers(self):
+        request = Request(url=parse_url("http://a.com/"))
+        retargeted = request.with_url(parse_url("http://b.com/"))
+        retargeted.headers.add("Y", "2")
+        assert "Y" not in request.headers
+
+
+class TestResponse:
+    def test_reason_phrase(self):
+        assert Response(status=403).reason == "Forbidden"
+        assert Response(status=451).reason == "Unavailable For Legal Reasons"
+
+    def test_is_redirect_requires_location(self):
+        response = Response(status=301)
+        assert not response.is_redirect
+        response.headers.add("Location", "http://x.com/")
+        assert response.is_redirect
+
+    def test_200_is_not_redirect(self):
+        response = Response(status=200)
+        response.headers.add("Location", "http://x.com/")
+        assert not response.is_redirect
+
+    def test_location(self):
+        response = Response(status=302)
+        response.headers.add("Location", "/next")
+        assert response.location == "/next"
+
+    def test_len_is_body_length(self):
+        assert len(Response(status=200, body="hello")) == 5

@@ -1,0 +1,63 @@
+"""Tests for status codes and user-agent profiles."""
+
+from repro.httpsim.messages import Headers
+from repro.httpsim.status import is_redirect, reason_phrase
+from repro.httpsim.useragent import (
+    CURL_UA,
+    FIREFOX_MACOS_UA,
+    browser_headers,
+    crawler_headers,
+    looks_like_browser,
+)
+
+
+class TestStatus:
+    def test_common_reasons(self):
+        assert reason_phrase(200) == "OK"
+        assert reason_phrase(403) == "Forbidden"
+        assert reason_phrase(404) == "Not Found"
+
+    def test_451_legal_reasons(self):
+        assert reason_phrase(451) == "Unavailable For Legal Reasons"
+
+    def test_unknown_code(self):
+        assert reason_phrase(299) == "Unknown"
+
+    def test_redirect_codes(self):
+        for code in (301, 302, 307, 308):
+            assert is_redirect(code)
+
+    def test_non_redirect_codes(self):
+        for code in (200, 403, 404, 500):
+            assert not is_redirect(code)
+
+
+class TestUserAgentProfiles:
+    def test_browser_headers_have_accept(self):
+        headers = browser_headers()
+        assert "Accept" in headers
+        assert "Accept-Language" in headers
+        assert "Firefox" in headers.get("User-Agent")
+
+    def test_crawler_headers_only_ua(self):
+        headers = crawler_headers()
+        assert headers.get("User-Agent") == FIREFOX_MACOS_UA
+        assert "Accept" not in headers
+        assert len(headers) == 1
+
+    def test_browser_profile_detected(self):
+        assert looks_like_browser(browser_headers())
+
+    def test_zgrab_profile_rejected(self):
+        # The §3.1 lesson: UA alone does not look like a browser.
+        assert not looks_like_browser(crawler_headers())
+
+    def test_curl_rejected(self):
+        assert not looks_like_browser(Headers([("User-Agent", CURL_UA)]))
+
+    def test_empty_headers_rejected(self):
+        assert not looks_like_browser(Headers())
+
+    def test_custom_ua_in_browser_profile(self):
+        headers = browser_headers(user_agent="Mozilla/5.0 TestBrowser")
+        assert looks_like_browser(headers)

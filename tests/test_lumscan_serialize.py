@@ -1,0 +1,68 @@
+"""Tests for JSONL dataset persistence."""
+
+import pytest
+
+from repro.lumscan.records import NO_RESPONSE, ScanDataset
+from repro.lumscan.serialize import dump_dataset, load_dataset
+
+
+def _dataset():
+    data = ScanDataset()
+    data.append("a.com", "US", 200, 9_000, None)
+    data.append("a.com", "IR", 403, 480, "<html>block page</html>")
+    data.append("b.com", "SY", NO_RESPONSE, 0, None, error="timeout")
+    data.append("c.com", "US", 403, 50, "fw", interfered=True)
+    return data
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        original = _dataset()
+        path = tmp_path / "scan.jsonl"
+        written = dump_dataset(original, path)
+        assert written == len(original)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(original)
+        for i in range(len(original)):
+            assert loaded.row(i) == original.row(i)
+
+    def test_roundtrip_preserves_pairs(self, tmp_path):
+        original = _dataset()
+        path = tmp_path / "scan.jsonl"
+        dump_dataset(original, path)
+        loaded = load_dataset(path)
+        assert ([(d, c) for d, c, _ in loaded.pairs()]
+                == [(d, c) for d, c, _ in original.pairs()])
+
+    def test_empty_dataset(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert dump_dataset(ScanDataset(), path) == 0
+        assert len(load_dataset(path)) == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        dump_dataset(_dataset(), path)
+        content = path.read_text()
+        path.write_text(content.replace("\n", "\n\n"))
+        assert len(load_dataset(path)) == 4
+
+
+class TestErrors:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_dataset(path)
+
+    def test_unknown_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"domain":"a.com","country":"US","status":200,'
+                        '"length":1,"surprise":true}\n')
+        with pytest.raises(ValueError, match="unknown fields"):
+            load_dataset(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"domain":"a.com","country":"US"}\n')
+        with pytest.raises(ValueError, match="missing field"):
+            load_dataset(path)

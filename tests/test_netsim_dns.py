@@ -1,0 +1,88 @@
+"""Tests for the DNS model and SPF netblock expansion."""
+
+import pytest
+
+from repro.netsim.dns import DNSServer, NXDOMAIN, expand_spf_netblocks
+
+
+class TestDNSServer:
+    def test_query_a_record(self):
+        dns = DNSServer()
+        dns.add_record("example.com", "A", "10.0.0.1")
+        assert dns.query("example.com", "A") == ["10.0.0.1"]
+
+    def test_multiple_records(self):
+        dns = DNSServer()
+        dns.add_record("e.com", "NS", "ns1.e.com")
+        dns.add_record("e.com", "NS", "ns2.e.com")
+        assert dns.query("e.com", "NS") == ["ns1.e.com", "ns2.e.com"]
+
+    def test_case_insensitive_names(self):
+        dns = DNSServer()
+        dns.add_record("Example.COM", "A", "10.0.0.1")
+        assert dns.query("example.com", "a") == ["10.0.0.1"]
+
+    def test_trailing_dot_normalized(self):
+        dns = DNSServer()
+        dns.add_record("e.com.", "A", "10.0.0.1")
+        assert dns.query("e.com", "A") == ["10.0.0.1"]
+
+    def test_nxdomain(self):
+        with pytest.raises(NXDOMAIN):
+            DNSServer().query("missing.com", "A")
+
+    def test_wrong_type_returns_empty(self):
+        dns = DNSServer()
+        dns.add_record("e.com", "A", "10.0.0.1")
+        assert dns.query("e.com", "TXT") == []
+
+    def test_try_query_swallows_nxdomain(self):
+        assert DNSServer().try_query("missing.com", "A") == []
+
+    def test_names(self):
+        dns = DNSServer()
+        dns.add_record("a.com", "A", "1.1.1.1")
+        dns.add_record("b.com", "A", "2.2.2.2")
+        assert set(dns.names()) == {"a.com", "b.com"}
+
+
+class TestSpfExpansion:
+    def _netblock_dns(self):
+        dns = DNSServer()
+        dns.add_record("_cloud-netblocks.googleusercontent.com", "TXT",
+                       "v=spf1 include:_cloud-netblocks1.googleusercontent.com "
+                       "include:_cloud-netblocks2.googleusercontent.com ?all")
+        dns.add_record("_cloud-netblocks1.googleusercontent.com", "TXT",
+                       "v=spf1 ip4:10.10.0.0/16 ip4:10.11.0.0/16 ?all")
+        dns.add_record("_cloud-netblocks2.googleusercontent.com", "TXT",
+                       "v=spf1 ip4:10.12.0.0/16 ?all")
+        return dns
+
+    def test_recursive_expansion(self):
+        blocks = expand_spf_netblocks(
+            self._netblock_dns(), "_cloud-netblocks.googleusercontent.com")
+        assert blocks == ["10.10.0.0/16", "10.11.0.0/16", "10.12.0.0/16"]
+
+    def test_missing_root(self):
+        assert expand_spf_netblocks(DNSServer(), "nothing.example") == []
+
+    def test_cycle_terminates(self):
+        dns = DNSServer()
+        dns.add_record("a.example", "TXT", "v=spf1 include:b.example ip4:1.0.0.0/24")
+        dns.add_record("b.example", "TXT", "v=spf1 include:a.example ip4:2.0.0.0/24")
+        blocks = expand_spf_netblocks(dns, "a.example")
+        assert set(blocks) == {"1.0.0.0/24", "2.0.0.0/24"}
+
+    def test_depth_limit(self):
+        dns = DNSServer()
+        for i in range(20):
+            dns.add_record(f"n{i}.example", "TXT",
+                           f"v=spf1 include:n{i + 1}.example ip4:10.{i}.0.0/24")
+        blocks = expand_spf_netblocks(dns, "n0.example", max_depth=5)
+        assert len(blocks) <= 7
+
+    def test_duplicate_blocks_collapsed(self):
+        dns = DNSServer()
+        dns.add_record("x.example", "TXT",
+                       "v=spf1 ip4:10.0.0.0/24 ip4:10.0.0.0/24 ?all")
+        assert expand_spf_netblocks(dns, "x.example") == ["10.0.0.0/24"]

@@ -1,0 +1,95 @@
+"""Tests for the geolocation database."""
+
+import pytest
+
+from repro.netsim.geoip import GeoIPDatabase
+from repro.netsim.ip import Netblock
+
+
+def _db(error_rate=0.0, seed=0):
+    db = GeoIPDatabase(seed=seed, error_rate=error_rate)
+    db.register(Netblock(cidr="10.0.0.0/16", owner="res:US"), "US")
+    db.register(Netblock(cidr="10.1.0.0/16", owner="res:IR"), "IR")
+    db.register(Netblock(cidr="10.2.0.0/16", owner="res:UA:crimea"), "UA",
+                region="crimea")
+    return db
+
+
+class TestLookup:
+    def test_basic(self):
+        entry = _db().lookup("10.0.5.5")
+        assert entry.country == "US"
+        assert entry.region is None
+
+    def test_region(self):
+        entry = _db().lookup("10.2.0.9")
+        assert entry.country == "UA"
+        assert entry.region == "crimea"
+
+    def test_unregistered(self):
+        assert _db().lookup("99.99.99.99") is None
+
+    def test_true_country(self):
+        assert _db().true_country("10.1.0.1") == "IR"
+        assert _db().true_country("99.0.0.1") is None
+
+    def test_countries(self):
+        assert _db().countries() == ["US", "IR", "UA"]
+
+    def test_error_rate_validation(self):
+        with pytest.raises(ValueError):
+            GeoIPDatabase(error_rate=1.5)
+
+
+class TestErrorModel:
+    def test_zero_error_never_mislocates(self):
+        db = _db(error_rate=0.0)
+        for i in range(50):
+            address = f"10.1.0.{i + 1}"
+            assert db.lookup(address).country == "IR"
+            assert not db.is_mislocated(address)
+
+    def test_errors_are_stable_per_address(self):
+        db = _db(error_rate=0.3, seed=5)
+        first = {f"10.0.1.{i}": db.lookup(f"10.0.1.{i}").country
+                 for i in range(1, 40)}
+        for address, country in first.items():
+            assert db.lookup(address).country == country
+
+    def test_error_rate_approximate(self):
+        db = _db(error_rate=0.3, seed=2)
+        wrong = sum(1 for i in range(1, 400)
+                    if db.lookup(f"10.0.{i % 250}.{i % 200 + 1}").country != "US")
+        # 30% +/- generous tolerance over ~400 addresses.
+        assert 0.15 < wrong / 400 < 0.45
+
+    def test_mislocated_reports_error(self):
+        db = _db(error_rate=0.5, seed=3)
+        flags = [db.is_mislocated(f"10.1.2.{i}") for i in range(1, 60)]
+        assert any(flags) and not all(flags)
+
+    def test_mislocation_consistent_with_lookup(self):
+        db = _db(error_rate=0.4, seed=4)
+        for i in range(1, 60):
+            address = f"10.1.3.{i}"
+            if db.is_mislocated(address):
+                assert db.lookup(address).country != "IR"
+            else:
+                assert db.lookup(address).country == "IR"
+
+    def test_unregistered_not_mislocated(self):
+        assert not _db(error_rate=0.5).is_mislocated("99.0.0.1")
+
+
+class TestCache:
+    def test_register_invalidates_cache(self):
+        db = _db()
+        assert db.lookup("50.0.0.1") is None
+        db.register(Netblock(cidr="50.0.0.0/16", owner="res:DE"), "DE")
+        assert db.lookup("50.0.0.1").country == "DE"
+
+    def test_fingerprint_changes_on_register(self):
+        db = _db()
+        before = db.fingerprint()
+        db.register(Netblock(cidr="60.0.0.0/16", owner="x"), "FR")
+        assert db.fingerprint() != before

@@ -1,0 +1,95 @@
+"""Tests for IP allocation and netblocks."""
+
+import pytest
+
+from repro.netsim.ip import AddressAllocator, Netblock, _address_to_int
+
+
+class TestAddressToInt:
+    def test_parses_valid(self):
+        assert _address_to_int("10.0.0.1") == (10 << 24) + 1
+
+    def test_rejects_garbage(self):
+        assert _address_to_int("not-an-ip") is None
+        assert _address_to_int("1.2.3") is None
+        assert _address_to_int("1.2.3.4.5") is None
+        assert _address_to_int("1.2.3.999") is None
+        assert _address_to_int("1.2.3.-4") is None
+
+
+class TestNetblock:
+    def test_contains_inside(self):
+        block = Netblock(cidr="10.1.0.0/16", owner="x")
+        assert "10.1.2.3" in block
+
+    def test_excludes_outside(self):
+        block = Netblock(cidr="10.1.0.0/16", owner="x")
+        assert "10.2.0.1" not in block
+
+    def test_contains_invalid_address(self):
+        assert "garbage" not in Netblock(cidr="10.1.0.0/16", owner="x")
+
+    def test_address_at_stays_inside(self):
+        block = Netblock(cidr="10.5.0.0/16", owner="x")
+        for index in (0, 1, 100, 65_533, 70_000):
+            assert block.address_at(index) in block
+
+    def test_address_at_avoids_network_and_broadcast(self):
+        block = Netblock(cidr="10.5.0.0/16", owner="x")
+        for index in range(0, 200, 7):
+            address = block.address_at(index)
+            assert address != "10.5.0.0"
+            assert address != "10.5.255.255"
+
+    def test_int_range(self):
+        first, last = Netblock(cidr="10.0.0.0/16", owner="x").int_range
+        assert last - first + 1 == 65536
+
+
+class TestAddressAllocator:
+    def test_blocks_are_disjoint(self):
+        allocator = AddressAllocator()
+        blocks_a = allocator.allocate("a", 3)
+        blocks_b = allocator.allocate("b", 3)
+        cidrs = {b.cidr for b in blocks_a + blocks_b}
+        assert len(cidrs) == 6
+
+    def test_owner_tracking(self):
+        allocator = AddressAllocator()
+        allocator.allocate("owner1", 2)
+        assert len(allocator.blocks_of("owner1")) == 2
+        assert allocator.blocks_of("unknown") == []
+
+    def test_owner_of(self):
+        allocator = AddressAllocator()
+        block = allocator.allocate("me", 1)[0]
+        address = block.address_at(5)
+        assert allocator.owner_of(address) == "me"
+        assert allocator.owner_of("200.0.0.1") is None
+
+    def test_random_address_in_owner_space(self):
+        allocator = AddressAllocator(seed=1)
+        allocator.allocate("cc", 2)
+        for _ in range(20):
+            address = allocator.random_address("cc")
+            assert allocator.owner_of(address) == "cc"
+
+    def test_random_address_unknown_owner(self):
+        with pytest.raises(KeyError):
+            AddressAllocator().random_address("nobody")
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            AddressAllocator().allocate("x", 0)
+
+    def test_deterministic_layout(self):
+        a1 = AddressAllocator(seed=3)
+        a2 = AddressAllocator(seed=3)
+        assert ([b.cidr for b in a1.allocate("x", 4)]
+                == [b.cidr for b in a2.allocate("x", 4)])
+
+    def test_owners_iteration(self):
+        allocator = AddressAllocator()
+        allocator.allocate("a")
+        allocator.allocate("b")
+        assert set(allocator.owners()) == {"a", "b"}

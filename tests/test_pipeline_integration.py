@@ -1,0 +1,160 @@
+"""Integration tests: the full study pipelines over the tiny world."""
+
+import pytest
+
+from repro.core.metrics import score_confirmed_blocks
+from repro.core.pipeline import (
+    StudyConfig,
+    build_safe_list,
+    run_top1m_study,
+    run_vps_exploration,
+)
+from repro.datasets.alexa import AlexaList
+from repro.websim import blockpages
+
+
+class TestTop10KStudy:
+    def test_safe_list_smaller_than_population(self, tiny_top10k, tiny_world):
+        assert 0 < len(tiny_top10k.safe_domains) < len(tiny_world.population)
+
+    def test_initial_dataset_shape(self, tiny_top10k, tiny_world):
+        expected = (len(tiny_top10k.safe_domains)
+                    * len(tiny_top10k.countries) * 3)
+        assert len(tiny_top10k.initial) == expected
+
+    def test_confirmed_blocks_exist(self, tiny_top10k):
+        assert tiny_top10k.confirmed
+
+    def test_confirmed_pages_are_explicit(self, tiny_top10k):
+        for block in tiny_top10k.confirmed:
+            assert block.page_type in blockpages.EXPLICIT_GEOBLOCK_TYPES
+            assert block.agreement >= 0.80
+
+    def test_sanctioned_countries_dominate(self, tiny_top10k):
+        top4 = [c for c, _ in tiny_top10k.instances_by_country().most_common(4)]
+        assert len(set(top4) & {"IR", "SY", "SD", "CU"}) >= 3
+
+    def test_north_korea_never_measured(self, tiny_top10k):
+        assert "KP" not in tiny_top10k.countries
+        assert all(c.country != "KP" for c in tiny_top10k.confirmed)
+
+    def test_high_precision_against_ground_truth(self, tiny_top10k, tiny_world):
+        score = score_confirmed_blocks(tiny_world, tiny_top10k.confirmed,
+                                       tiny_top10k.safe_domains,
+                                       tiny_top10k.countries)
+        assert score.precision >= 0.95
+        assert score.recall >= 0.75
+
+    def test_discovery_found_explicit_pages(self, tiny_top10k):
+        labelled = {c.page_type for c in tiny_top10k.clusters if c.page_type}
+        assert labelled & set(blockpages.EXPLICIT_GEOBLOCK_TYPES)
+
+    def test_transient_domain_not_confirmed(self, tiny_top10k, tiny_world):
+        # The makro.co.za-style domain stops blocking before confirmation.
+        transient = next((n for n, p in tiny_world.policies.items()
+                          if p.expires_epoch == 0), None)
+        if transient is None:
+            pytest.skip("no transient policy")
+        assert transient not in tiny_top10k.confirmed_domains
+
+    def test_other_page_counts_nonempty(self, tiny_top10k):
+        # Captchas / ambiguous pages were observed (the 200,417 of §4.2.2).
+        assert sum(tiny_top10k.other_page_counts.values()) > 0
+
+    def test_brand_blocks_iran_syria_only(self, tiny_top10k, tiny_world):
+        brand_blocks = [c for c in tiny_top10k.confirmed if c.provider == "brand"]
+        if not brand_blocks:
+            pytest.skip("brand not confirmed in tiny world")
+        # Reachable brand-blocked countries are IR and SY (KP unreachable).
+        assert {c.country for c in brand_blocks} <= {"IR", "SY"}
+
+    def test_error_statistics_within_paper_range(self, tiny_top10k):
+        rates = tiny_top10k.initial.response_rate_by_country()
+        # Nearly every country should have >= 1 response for most domains.
+        assert all(rate > 0.75 for rate in rates.values())
+
+
+class TestBuildSafeList:
+    def test_removes_risky_and_citizenlab(self, tiny_world):
+        alexa = AlexaList(tiny_world.population)
+        safe = build_safe_list(tiny_world, alexa.top10k())
+        from repro.datasets.citizenlab import CitizenLabList
+        citizenlab = CitizenLabList(tiny_world.population, tiny_world.taxonomy,
+                                    seed=tiny_world.config.seed)
+        assert all(d not in citizenlab for d in safe)
+
+
+@pytest.fixture(scope="session")
+def tiny_top1m(tiny_world, tiny_top10k):
+    return run_top1m_study(tiny_world, registry=tiny_top10k.registry)
+
+
+class TestTop1MStudy:
+    def test_population_identified(self, tiny_top1m, tiny_world):
+        assert tiny_top1m.population.of("cloudflare")
+        assert tiny_top1m.population.of("akamai")
+
+    def test_sample_within_safe_customers(self, tiny_top1m):
+        assert set(tiny_top1m.sampled_domains) <= set(tiny_top1m.safe_customers)
+
+    def test_confirmed_providers_explicit(self, tiny_top1m):
+        for block in tiny_top1m.confirmed:
+            assert block.provider in ("cloudflare", "cloudfront", "appengine",
+                                      "baidu", "brand")
+
+    def test_provider_rates_consistent(self, tiny_top1m):
+        for provider, (blocked, tested) in tiny_top1m.provider_rates().items():
+            assert 0 <= blocked <= tested or tested == 0
+
+    def test_appengine_blocks_only_sanctions(self, tiny_top1m):
+        appengine = [c for c in tiny_top1m.confirmed
+                     if c.provider == "appengine"]
+        if not appengine:
+            pytest.skip("no appengine blocks observed")
+        assert {c.country for c in appengine} <= {"IR", "SY", "SD", "CU"}
+
+    def test_nonexplicit_confirmed_subset_of_flagged(self, tiny_top1m):
+        flagged = {d for domains in tiny_top1m.nonexplicit_flagged.values()
+                   for d in domains}
+        for domains in tiny_top1m.confirmed_nonexplicit().values():
+            assert set(domains) <= flagged
+
+    def test_consistency_records_have_rates(self, tiny_top1m):
+        for record in tiny_top1m.consistency.values():
+            assert 0 < record.countries_tested
+            for rate in record.country_rates.values():
+                assert 0.0 <= rate <= 1.0
+
+
+class TestVPSExploration:
+    @pytest.fixture(scope="class")
+    def vps_result(self):
+        # Fresh world: fetch noise is a world-level stream, so results
+        # depend on how much traffic the world has already served.
+        from repro.websim.world import World, WorldConfig
+        return run_vps_exploration(World(WorldConfig.tiny()))
+
+    def test_iran_sees_more_blockpage_403s_than_us(self, vps_result):
+        # The paper's 707-vs-69 gap is driven by geoblocking; raw 403
+        # counts at tiny scale are dominated by symmetric bot-detection
+        # noise, so the comparison keys on *classified block pages*.
+        assert vps_result.iran_blockpage_count >= vps_result.us_blockpage_count
+        assert vps_result.iran_blockpage_count > 0
+
+    def test_flagged_partition(self, vps_result):
+        assert (len(vps_result.genuine_pairs)
+                + len(vps_result.false_positive_pairs)
+                == len(vps_result.flagged_pairs))
+
+    def test_fp_rate_bounds(self, vps_result):
+        assert 0.0 <= vps_result.false_positive_rate <= 1.0
+
+    def test_genuine_domains_unique(self, vps_result):
+        domains = vps_result.genuine_domains
+        assert len(domains) == len(set(domains))
+
+    def test_max_domains_limit(self):
+        from repro.websim.world import World, WorldConfig
+        result = run_vps_exploration(World(WorldConfig.tiny()), max_domains=5)
+        assert len(result.cloudflare_domains) <= 5
+        assert len(result.akamai_domains) <= 5

@@ -1,0 +1,102 @@
+"""Property-based tests over the simulation substrate."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.ip import AddressAllocator, Netblock
+from repro.websim import blockpages
+from repro.websim.policies import GeoPolicy
+
+_codes = st.sampled_from(["US", "IR", "SY", "CN", "RU", "DE", "BR", "NG"])
+
+
+class TestNetblockProperties:
+    @given(index=st.integers(min_value=0, max_value=2 ** 20))
+    def test_address_at_always_contained(self, index):
+        block = Netblock(cidr="10.9.0.0/16", owner="x")
+        assert block.address_at(index) in block
+
+    @given(octets=st.tuples(st.integers(0, 255), st.integers(0, 255),
+                            st.integers(0, 255), st.integers(0, 255)))
+    def test_containment_matches_prefix(self, octets):
+        block = Netblock(cidr="10.9.0.0/16", owner="x")
+        address = ".".join(str(o) for o in octets)
+        expected = octets[0] == 10 and octets[1] == 9
+        assert (address in block) == expected
+
+    @given(owners=st.lists(st.text(alphabet=string.ascii_lowercase,
+                                   min_size=1, max_size=6),
+                           min_size=1, max_size=8, unique=True))
+    def test_allocations_disjoint(self, owners):
+        allocator = AddressAllocator()
+        for owner in owners:
+            allocator.allocate(owner, 2)
+        seen = set()
+        for owner in owners:
+            for block in allocator.blocks_of(owner):
+                assert block.cidr not in seen
+                seen.add(block.cidr)
+
+
+class TestGeoPolicyProperties:
+    @given(blocked=st.frozensets(_codes, max_size=5),
+           query=_codes, epoch=st.integers(0, 3))
+    def test_blocks_iff_member(self, blocked, query, epoch):
+        policy = GeoPolicy(enforcer="cloudflare",
+                           block_page=blockpages.CLOUDFLARE_BLOCK,
+                           blocked_countries=blocked)
+        assert policy.blocks(query, None, epoch) == (query in blocked)
+
+    @given(blocked=st.frozensets(_codes, min_size=1, max_size=5),
+           expiry=st.integers(0, 2), epoch=st.integers(0, 4))
+    def test_expiry_semantics(self, blocked, expiry, epoch):
+        policy = GeoPolicy(enforcer="origin",
+                           block_page=blockpages.NGINX_403,
+                           blocked_countries=blocked,
+                           expires_epoch=expiry)
+        country = sorted(blocked)[0]
+        assert policy.blocks(country, None, epoch) == (epoch <= expiry)
+
+    @given(challenged=st.frozensets(_codes, max_size=4), query=_codes)
+    def test_challenge_disjoint_from_block(self, challenged, query):
+        policy = GeoPolicy(enforcer="cloudflare",
+                           block_page=blockpages.CLOUDFLARE_BLOCK,
+                           challenge_countries=challenged)
+        # A pure challenge policy never geoblocks.
+        assert not policy.is_geoblocking
+        assert policy.challenges(query) == (query in challenged)
+
+    @given(blocked=st.frozensets(_codes, max_size=4),
+           regions=st.frozensets(st.sampled_from(["crimea"]), max_size=1))
+    def test_is_geoblocking_definition(self, blocked, regions):
+        policy = GeoPolicy(enforcer="appengine",
+                           block_page=blockpages.APPENGINE_BLOCK,
+                           blocked_countries=blocked,
+                           blocked_regions=regions)
+        assert policy.is_geoblocking == bool(blocked or regions)
+
+
+class TestFingerprintProperties:
+    @given(noise=st.text(alphabet=string.ascii_letters + string.digits + " ",
+                         max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_markers_immune_to_prefix_suffix_noise(self, noise):
+        from repro.core.fingerprints import FingerprintRegistry
+        import random
+        registry = FingerprintRegistry.default()
+        page = blockpages.render(blockpages.CLOUDFRONT_BLOCK,
+                                 random.Random(1), "h.com", "IR")
+        assert registry.match(noise + page.body + noise) == \
+            blockpages.CLOUDFRONT_BLOCK
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_templates_classified_for_any_seed(self, seed):
+        from repro.core.fingerprints import FingerprintRegistry
+        import random
+        registry = FingerprintRegistry.default()
+        rng = random.Random(seed)
+        for page_type in blockpages.ALL_PAGE_TYPES:
+            page = blockpages.render(page_type, rng, "host.org", "SY")
+            assert registry.match(page.body) == page_type

@@ -1,0 +1,99 @@
+"""Tests for the VPS fleet and redirect-following transport."""
+
+import pytest
+
+from repro.httpsim.messages import Request
+from repro.httpsim.url import parse_url
+from repro.httpsim.useragent import browser_headers
+from repro.netsim.errors import TooManyRedirects
+from repro.proxynet.transport import fetch_with_redirects
+from repro.proxynet.vps import VPSFleet
+
+
+@pytest.fixture(scope="module")
+def fleet(nano_world):
+    return VPSFleet(nano_world)
+
+
+class TestFleet:
+    def test_fleet_covers_registry_vps_countries(self, fleet, nano_world):
+        expected = [c.code for c in nano_world.registry.vps_countries()]
+        assert fleet.countries() == expected
+
+    def test_get(self, fleet):
+        client = fleet.get("US")
+        assert client.country == "US"
+
+    def test_get_missing(self, fleet):
+        with pytest.raises(KeyError):
+            fleet.get("ZZ")
+
+    def test_verify_locations_mostly_match(self, fleet):
+        mismatches = [claimed for claimed, seen in fleet.verify_locations().items()
+                      if claimed != seen]
+        # GeoIP error can mislocate the odd VPS; most must verify.
+        assert len(mismatches) <= 1
+
+    def test_clients(self, fleet):
+        assert len(fleet.clients()) == len(fleet)
+
+
+class TestVPSFetch:
+    def _clean_domain(self, world):
+        return next(d for d in world.population
+                    if not d.dead and not d.redirect_loop
+                    and d.name not in world.policies
+                    and not d.censored_in and not d.bot_protection)
+
+    def test_browser_fetch_succeeds(self, fleet, nano_world):
+        domain = self._clean_domain(nano_world)
+        result = fleet.get("US").fetch_browser(f"http://{domain.name}/")
+        assert result.ok
+        assert result.response.status == 200
+
+    def test_zgrab_on_protected_domain(self, fleet, nano_world):
+        domain = next((d for d in nano_world.population
+                       if d.bot_protection and not d.dead and not d.redirect_loop
+                       and d.name not in nano_world.policies
+                       and not d.censored_in), None)
+        if domain is None:
+            pytest.skip("no protected domain")
+        hits = sum(
+            1 for _ in range(8)
+            if (r := fleet.get("US").fetch_zgrab(f"http://{domain.name}/")).ok
+            and r.response.status == 403)
+        assert hits >= 3
+
+    def test_all_responses_includes_chain(self, fleet, nano_world):
+        domain = next(d for d in nano_world.population
+                      if d.https_redirect and not d.dead and not d.redirect_loop
+                      and d.name not in nano_world.policies
+                      and not d.censored_in and not d.bot_protection)
+        result = fleet.get("US").fetch_browser(f"http://{domain.name}/")
+        assert result.ok
+        assert len(result.all_responses) == len(result.chain) + 1
+
+
+class TestTransport:
+    def test_redirect_limit(self, nano_world):
+        domain = next(d for d in nano_world.population if d.redirect_loop)
+        request = Request(url=parse_url(f"http://{domain.name}/"),
+                          headers=browser_headers())
+        with pytest.raises(TooManyRedirects):
+            fetch_with_redirects(nano_world, request,
+                                 nano_world.vps_address("US"), max_redirects=5)
+
+    def test_follows_full_chain(self, nano_world):
+        domain = next(d for d in nano_world.population
+                      if d.https_redirect and d.www_redirect
+                      and not d.dead and not d.redirect_loop
+                      and d.name not in nano_world.policies
+                      and not d.censored_in and not d.bot_protection)
+        request = Request(url=parse_url(f"http://{domain.name}/"),
+                          headers=browser_headers())
+        result = fetch_with_redirects(nano_world, request,
+                                      nano_world.vps_address("US"))
+        assert result.response.status == 200
+        assert len(result.chain) == 2
+        assert result.response.url.host == f"www.{domain.name}"
+        assert result.response.url.scheme == "https"

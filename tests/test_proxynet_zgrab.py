@@ -1,0 +1,84 @@
+"""Tests for the ZGrab validation protocol (§3.1)."""
+
+import pytest
+
+from repro.proxynet.vps import VPSFleet
+from repro.proxynet.zgrab import (
+    ZGrabComparison,
+    false_positive_survey,
+    validate_zgrab,
+)
+
+
+@pytest.fixture(scope="module")
+def us_vps(tiny_world):
+    return VPSFleet(tiny_world).get("US")
+
+
+class TestComparison:
+    def test_agreement(self):
+        assert ZGrabComparison("a.com", 200, 200).agrees
+        assert not ZGrabComparison("a.com", 403, 200).agrees
+
+    def test_false_positive_definition(self):
+        assert ZGrabComparison("a.com", 403, 200).zgrab_false_positive
+        assert not ZGrabComparison("a.com", 403, 403).zgrab_false_positive
+        assert not ZGrabComparison("a.com", 200, 403).zgrab_false_positive
+        assert not ZGrabComparison("a.com", None, 200).zgrab_false_positive
+
+
+class TestValidateZgrab:
+    def _clean_domains(self, world, n):
+        return [d.name for d in world.population
+                if not d.dead and not d.redirect_loop
+                and d.name not in world.policies and not d.censored_in
+                and not d.bot_protection][:n]
+
+    def test_clean_domains_agree(self, tiny_world, us_vps):
+        domains = self._clean_domains(tiny_world, 20)
+        validation = validate_zgrab(us_vps, domains, sample_size=20)
+        assert validation.agreement_rate > 0.9
+        assert not validation.false_positives
+
+    def test_protected_domains_disagree(self, tiny_world, us_vps):
+        protected = [d.name for d in tiny_world.population
+                     if d.bot_protection and not d.dead
+                     and not d.redirect_loop
+                     and d.name not in tiny_world.policies
+                     and not d.censored_in][:10]
+        if len(protected) < 3:
+            pytest.skip("too few protected domains")
+        validation = validate_zgrab(us_vps, protected,
+                                    sample_size=len(protected))
+        assert validation.false_positives  # the §3.1 phenomenon
+
+    def test_sampling_deterministic(self, tiny_world, us_vps):
+        domains = self._clean_domains(tiny_world, 40)
+        a = validate_zgrab(us_vps, domains, sample_size=10, seed=3)
+        b = validate_zgrab(us_vps, domains, sample_size=10, seed=3)
+        assert ([c.domain for c in a.comparisons]
+                == [c.domain for c in b.comparisons])
+
+    def test_empty_validation(self, us_vps):
+        validation = validate_zgrab(us_vps, [], sample_size=10)
+        assert validation.agreement_rate == 1.0
+
+
+class TestFalsePositiveSurvey:
+    def test_akamai_fp_rate_positive(self, tiny_world, us_vps):
+        protected = [d.name for d in tiny_world.population
+                     if d.provider == "akamai" and d.bot_protection
+                     and not d.dead and not d.redirect_loop
+                     and d.name not in tiny_world.policies
+                     and not d.censored_in]
+        clean = [d.name for d in tiny_world.population
+                 if d.provider == "akamai" and not d.bot_protection
+                 and not d.dead and not d.redirect_loop
+                 and d.name not in tiny_world.policies
+                 and not d.censored_in][:10]
+        if not protected:
+            pytest.skip("no protected akamai domains")
+        rates = false_positive_survey(
+            us_vps, {"akamai-protected": protected, "akamai-clean": clean})
+        assert rates["akamai-protected"] > 0.5
+        assert rates["akamai-clean"] <= rates["akamai-protected"]

@@ -1,0 +1,67 @@
+"""Tests for plain-text/markdown rendering helpers."""
+
+from repro.analysis.figures import FigureData
+from repro.analysis.report import render_figure, render_markdown_table, render_table
+from repro.analysis.tables import TableData
+
+
+def _table():
+    table = TableData(title="Demo", columns=["Name", "Count"])
+    table.rows.append(["alpha", 10])
+    table.rows.append(["beta-longer-name", 2])
+    return table
+
+
+class TestRenderTable:
+    def test_alignment_width(self):
+        text = render_table(_table())
+        lines = text.splitlines()
+        # All data lines equal width (padded).
+        assert len(lines[1]) == len(lines[2])
+
+    def test_titleless_table(self):
+        table = _table()
+        table.title = ""
+        text = render_table(table)
+        assert text.splitlines()[0].startswith("Name")
+
+    def test_values_stringified(self):
+        text = render_table(_table())
+        assert "10" in text
+
+
+class TestRenderMarkdown:
+    def test_separator_row(self):
+        md = render_markdown_table(_table())
+        lines = md.splitlines()
+        assert lines[1] == "|---|---|"
+
+    def test_row_count(self):
+        md = render_markdown_table(_table())
+        assert len(md.splitlines()) == 2 + 2
+
+
+class TestRenderFigure:
+    def _figure(self, n_points):
+        figure = FigureData(title="F", x_label="x", y_label="y")
+        figure.add_series("s", [(i, i * 2) for i in range(n_points)])
+        return figure
+
+    def test_small_series_full(self):
+        text = render_figure(self._figure(5))
+        assert "[5 pts]" in text
+        assert text.count("(") == 5
+
+    def test_large_series_subsampled(self):
+        text = render_figure(self._figure(500), max_points=10)
+        assert "[500 pts]" in text
+        assert text.count("(") <= 12
+
+    def test_last_point_included(self):
+        text = render_figure(self._figure(500), max_points=10)
+        assert "(499, 998)" in text
+
+    def test_empty_series(self):
+        figure = FigureData(title="F", x_label="x", y_label="y")
+        figure.add_series("void", [])
+        assert "(empty)" in render_figure(figure)

@@ -1,0 +1,112 @@
+"""Tests for the block-page templates."""
+
+import random
+
+import pytest
+
+from repro.websim import blockpages as bp
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestRendering:
+    def test_all_page_types_render(self, rng):
+        for page_type in bp.ALL_PAGE_TYPES:
+            page = bp.render(page_type, rng, "example.com", "IR")
+            assert page.page_type == page_type
+            assert page.body
+            assert page.status in (403, 503)
+
+    def test_unknown_type_raises(self, rng):
+        with pytest.raises(ValueError):
+            bp.render("not-a-page", rng, "e.com", "IR")
+
+    def test_fourteen_page_types(self):
+        # Table 2 lists exactly 14 fingerprinted page types; the renderer
+        # catalog additionally carries the unfingerprinted 451 page.
+        assert len(bp.ALL_PAGE_TYPES) == 14
+        assert set(bp.RENDERERS) == set(bp.ALL_PAGE_TYPES) | {bp.NGINX_451}
+
+    def test_451_page(self, rng):
+        page = bp.render(bp.NGINX_451, rng, "e.com", "IR")
+        assert page.status == 451
+        assert "Legal Reasons" in page.body
+        assert bp.NGINX_451 not in bp.ALL_PAGE_TYPES
+
+    def test_five_explicit_types(self):
+        # §4.1.3: 5 pages explicitly signal geoblocking.
+        assert len(bp.EXPLICIT_GEOBLOCK_TYPES) == 5
+        assert set(bp.EXPLICIT_GEOBLOCK_TYPES) == {
+            bp.CLOUDFLARE_BLOCK, bp.CLOUDFRONT_BLOCK, bp.BAIDU_BLOCK,
+            bp.APPENGINE_BLOCK, bp.AIRBNB_BLOCK,
+        }
+
+    def test_type_partition(self):
+        explicit = set(bp.EXPLICIT_GEOBLOCK_TYPES)
+        challenge = set(bp.CHALLENGE_TYPES)
+        ambiguous = set(bp.AMBIGUOUS_TYPES)
+        assert not explicit & challenge
+        assert not explicit & ambiguous
+        assert not challenge & ambiguous
+        assert explicit | challenge | ambiguous == set(bp.ALL_PAGE_TYPES)
+
+
+class TestInstanceVariation:
+    def test_cloudflare_ray_ids_differ(self, rng):
+        a = bp.render(bp.CLOUDFLARE_BLOCK, rng, "e.com", "IR")
+        b = bp.render(bp.CLOUDFLARE_BLOCK, rng, "e.com", "IR")
+        assert a.body != b.body  # exact-match fingerprints must fail
+
+    def test_akamai_references_differ(self, rng):
+        a = bp.render(bp.AKAMAI_BLOCK, rng, "e.com", "IR")
+        b = bp.render(bp.AKAMAI_BLOCK, rng, "e.com", "IR")
+        assert a.body != b.body
+
+    def test_host_embedded(self, rng):
+        page = bp.render(bp.CLOUDFLARE_BLOCK, rng, "myhost.example", "SY")
+        assert "myhost.example" in page.body
+
+    def test_country_embedded_in_cloudflare(self, rng):
+        page = bp.render(bp.CLOUDFLARE_BLOCK, rng, "e.com", "SD")
+        assert "SD" in page.body
+
+    def test_nginx_page_is_stock(self, rng):
+        a = bp.render(bp.NGINX_403, rng, "a.com", "IR")
+        b = bp.render(bp.NGINX_403, rng, "b.com", "US")
+        assert a.body == b.body  # the stock page carries no identifiers
+
+
+class TestStatusesAndHeaders:
+    def test_js_challenge_is_503(self, rng):
+        assert bp.render(bp.CLOUDFLARE_JS, rng, "e.com", "IR").status == 503
+
+    def test_blocks_are_403(self, rng):
+        for page_type in bp.EXPLICIT_GEOBLOCK_TYPES:
+            assert bp.render(page_type, rng, "e.com", "IR").status == 403
+
+    def test_cloudflare_headers(self, rng):
+        page = bp.render(bp.CLOUDFLARE_BLOCK, rng, "e.com", "IR")
+        names = {name for name, _ in page.extra_headers}
+        assert "CF-RAY" in names
+        assert "Server" in names
+
+    def test_cloudfront_headers(self, rng):
+        page = bp.render(bp.CLOUDFRONT_BLOCK, rng, "e.com", "IR")
+        names = {name for name, _ in page.extra_headers}
+        assert "X-Amz-Cf-Id" in names
+
+    def test_incapsula_headers(self, rng):
+        page = bp.render(bp.INCAPSULA_BLOCK, rng, "e.com", "IR")
+        names = {name for name, _ in page.extra_headers}
+        assert "X-Iinfo" in names
+
+    def test_varnish_mentions_guru_meditation(self, rng):
+        page = bp.render(bp.VARNISH_403, rng, "e.com", "IR")
+        assert "Guru Meditation" in page.body
+
+    def test_airbnb_lists_sanctioned_regions(self, rng):
+        page = bp.render(bp.AIRBNB_BLOCK, rng, "stay.fr", "IR")
+        assert "Crimea, Iran, Syria, and North Korea" in page.body

@@ -1,0 +1,77 @@
+"""Tests for the category taxonomy and TLD distribution."""
+
+import random
+
+import pytest
+
+from repro.websim.categories import CategoryTaxonomy
+from repro.websim.tlds import TLD_WEIGHTS, all_tlds, pick_tld
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return CategoryTaxonomy()
+
+
+class TestTaxonomy:
+    def test_risky_and_safe_disjoint(self, taxonomy):
+        assert not set(taxonomy.safe_names()) & set(taxonomy.risky_names())
+
+    def test_paper_categories_present(self, taxonomy):
+        for name in ("Shopping", "Business", "News and Media",
+                     "Information Technology", "Finance and Banking",
+                     "Child Education", "Job Search", "Travel"):
+            assert name in taxonomy
+
+    def test_risky_categories_present(self, taxonomy):
+        for name in ("Pornography", "Weapons", "Spam URLs",
+                     "Malicious Websites", "Unrated"):
+            assert name in taxonomy.risky_names()
+
+    def test_risky_have_zero_affinity(self, taxonomy):
+        for name in taxonomy.risky_names():
+            assert taxonomy.get(name).block_affinity == 0.0
+
+    def test_shopping_blocks_more_than_education(self, taxonomy):
+        assert (taxonomy.get("Shopping").block_affinity
+                > taxonomy.get("Education").block_affinity)
+
+    def test_weights_align_with_names(self, taxonomy):
+        names = taxonomy.safe_names()
+        weights = taxonomy.weights(names)
+        assert len(weights) == len(names)
+        assert all(w > 0 for w in weights)
+
+    def test_it_is_largest_safe_category(self, taxonomy):
+        # Table 4: Information Technology has the most tested domains.
+        safe = taxonomy.safe_names()
+        weights = dict(zip(safe, taxonomy.weights(safe)))
+        assert max(weights, key=weights.get) == "Information Technology"
+
+    def test_get_unknown(self, taxonomy):
+        with pytest.raises(KeyError):
+            taxonomy.get("Nonexistent Category")
+
+    def test_len(self, taxonomy):
+        assert len(taxonomy) == len(taxonomy.names())
+
+
+class TestTlds:
+    def test_com_dominates(self):
+        weights = dict(TLD_WEIGHTS)
+        assert weights["com"] == max(weights.values())
+
+    def test_pick_tld_distribution(self):
+        rng = random.Random(1)
+        picks = [pick_tld(rng) for _ in range(2000)]
+        share_com = picks.count("com") / len(picks)
+        assert 0.4 < share_com < 0.65
+
+    def test_pick_tld_only_known(self):
+        rng = random.Random(2)
+        known = set(all_tlds())
+        assert all(pick_tld(rng) in known for _ in range(200))
+
+    def test_pick_deterministic(self):
+        assert ([pick_tld(random.Random(3)) for _ in range(20)]
+                == [pick_tld(random.Random(3)) for _ in range(20)])

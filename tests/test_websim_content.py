@@ -1,0 +1,59 @@
+"""Tests for origin page generation and per-sample jitter."""
+
+import random
+
+from repro.websim.content import generate_page, sample_jitter
+
+
+class TestGeneratePage:
+    def test_deterministic(self):
+        a = generate_page("example.com", "Shopping", seed=1)
+        b = generate_page("example.com", "Shopping", seed=1)
+        assert a == b
+
+    def test_varies_by_domain(self):
+        a = generate_page("a.com", "Shopping", seed=1)
+        b = generate_page("b.com", "Shopping", seed=1)
+        assert a != b
+
+    def test_varies_by_seed(self):
+        assert (generate_page("a.com", "News and Media", seed=1)
+                != generate_page("a.com", "News and Media", seed=2))
+
+    def test_is_html(self):
+        page = generate_page("site.net", "Travel", seed=0)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "</html>" in page
+        assert "Travel" in page
+
+    def test_length_bounds(self):
+        for i in range(15):
+            page = generate_page(f"d{i}.com", "Games", seed=3)
+            assert 4_000 <= len(page) <= 500_000
+
+    def test_lengths_vary_across_domains(self):
+        lengths = {len(generate_page(f"x{i}.com", "Games", seed=3))
+                   for i in range(10)}
+        assert len(lengths) > 5
+
+
+class TestSampleJitter:
+    def test_preserves_base(self):
+        base = generate_page("j.com", "Sports", seed=0)
+        jittered = sample_jitter(base, random.Random(1))
+        assert jittered.startswith(base)
+
+    def test_jitter_bounded(self):
+        base = "x" * 10_000
+        rng = random.Random(2)
+        for _ in range(20):
+            jittered = sample_jitter(base, rng, max_fraction=0.05)
+            extra = len(jittered) - len(base)
+            # comment wrapper + up to 5% padding
+            assert 0 <= extra <= 10_000 * 0.05 + 40
+
+    def test_jitter_varies(self):
+        base = "y" * 5_000
+        rng = random.Random(3)
+        lengths = {len(sample_jitter(base, rng)) for _ in range(10)}
+        assert len(lengths) > 3

@@ -1,0 +1,77 @@
+"""Tests for the country registry."""
+
+import pytest
+
+from repro.websim.countries import (
+    CountryRegistry,
+    CRIMEA,
+    SANCTIONED,
+    VPS_COUNTRIES,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return CountryRegistry()
+
+
+class TestRegistry:
+    def test_size_close_to_paper(self, registry):
+        # The paper sampled 195 countries; we carry a comparable registry.
+        assert 180 <= len(registry) <= 200
+
+    def test_sanctioned_set(self, registry):
+        assert set(registry.sanctioned_codes()) == set(SANCTIONED)
+
+    def test_get_known(self, registry):
+        assert registry.get("IR").name == "Iran"
+        assert registry.get("US").gdp_rank == 1
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("XX")
+
+    def test_contains(self, registry):
+        assert "SY" in registry
+        assert "XX" not in registry
+
+    def test_north_korea_has_no_luminati(self, registry):
+        assert not registry.get("KP").luminati
+        assert "KP" not in registry.luminati_codes()
+
+    def test_luminati_coverage_close_to_177(self, registry):
+        # 177 of 195 attempted countries responded in the paper.
+        assert 170 <= len(registry.luminati_codes()) <= 190
+
+    def test_comoros_is_the_reliability_outlier(self, registry):
+        comoros = registry.get("KM")
+        others = [c.reliability for c in registry
+                  if c.luminati and c.code != "KM"]
+        assert comoros.reliability < min(others)
+
+    def test_vps_countries_match_paper(self, registry):
+        assert [c.code for c in registry.vps_countries()] == list(VPS_COUNTRIES)
+        assert len(registry.vps_countries()) == 16
+
+    def test_crimea_region_on_ukraine(self, registry):
+        assert CRIMEA in registry.get("UA").regions
+
+    def test_china_russia_high_abuse(self, registry):
+        assert registry.get("CN").abuse_reputation > 0.8
+        assert registry.get("RU").abuse_reputation > 0.8
+        assert registry.get("CH").abuse_reputation < 0.1
+
+    def test_subset(self, registry):
+        sub = registry.subset(["US", "IR"])
+        assert len(sub) == 2
+        assert sub.codes() == ["US", "IR"]
+
+    def test_subset_vps_partial(self, registry):
+        sub = registry.subset(["US", "IR", "DE"])
+        codes = [c.code for c in sub.vps_countries()]
+        assert codes == ["IR", "US"]
+
+    def test_duplicate_codes_rejected(self, registry):
+        country = registry.get("US")
+        with pytest.raises(ValueError):
+            CountryRegistry([country, country])
