@@ -45,6 +45,7 @@ from repro.datasets.ooni import (
     control_blocking_stats,
     find_geoblock_confounding,
 )
+from repro.lumscan.engine import ScanEngine
 from repro.lumscan.scanner import Lumscan
 from repro.proxynet.luminati import LuminatiClient
 from repro.websim.world import World
@@ -178,7 +179,8 @@ class ExperimentSuite:
 
         if include_pools and result.confirmed:
             pairs = [(c.domain, c.country) for c in result.confirmed][:pool_pairs]
-            scanner = Lumscan(self.luminati, seed=self.config.seed)
+            scanner = ScanEngine(Lumscan(self.luminati, seed=self.config.seed),
+                                 workers=self.config.workers)
             pools = build_observation_pools(world, scanner, pairs,
                                             result.registry,
                                             samples=pool_samples)
@@ -299,7 +301,8 @@ class ExperimentSuite:
         from repro.core.timeouts import run_timeout_study
         from repro.websim.policies import ACTION_DROP
 
-        scanner = Lumscan(self.luminati, seed=self.config.seed)
+        scanner = ScanEngine(Lumscan(self.luminati, seed=self.config.seed),
+                             workers=self.config.workers)
         study = run_timeout_study(scanner, result.initial)
         report.findings["timeout.candidates"] = len(study.candidates)
         report.findings["timeout.confirmed"] = len(study.confirmed)

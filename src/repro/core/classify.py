@@ -16,7 +16,7 @@ A sample is classified as one of:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.fingerprints import FingerprintRegistry, PAGE_PROVIDER
 from repro.lumscan.records import Sample
@@ -50,18 +50,28 @@ class Verdict:
         return self.kind in (VERDICT_EXPLICIT, VERDICT_AMBIGUOUS)
 
 
+#: Field-free verdicts are immutable — share one instance of each.
+_OK_VERDICT = Verdict(kind=VERDICT_OK)
+_ERROR_VERDICT = Verdict(kind=VERDICT_ERROR)
+_CENSORSHIP_VERDICT = Verdict(kind=VERDICT_CENSORSHIP)
+
+
 def classify_body(body: Optional[str],
                   registry: Optional[FingerprintRegistry] = None) -> Verdict:
-    """Classify a response body (no status/error context)."""
+    """Classify a response body (no status/error context).
+
+    ``FingerprintRegistry.default()`` is a cached shared instance, so
+    registry-less calls no longer rebuild the 14-signature registry.
+    """
     if body is None:
-        return Verdict(kind=VERDICT_OK)
+        return _OK_VERDICT
     for marker in _CENSOR_MARKERS:
         if marker in body:
-            return Verdict(kind=VERDICT_CENSORSHIP)
+            return _CENSORSHIP_VERDICT
     reg = registry or FingerprintRegistry.default()
     page_type = reg.match(body)
     if page_type is None:
-        return Verdict(kind=VERDICT_OK)
+        return _OK_VERDICT
     provider = PAGE_PROVIDER.get(page_type)
     if page_type in blockpages.EXPLICIT_GEOBLOCK_TYPES:
         return Verdict(kind=VERDICT_EXPLICIT, page_type=page_type, provider=provider)
@@ -74,5 +84,37 @@ def classify_sample(sample: Sample,
                     registry: Optional[FingerprintRegistry] = None) -> Verdict:
     """Classify a scan sample, folding in probe failures."""
     if not sample.ok:
-        return Verdict(kind=VERDICT_ERROR)
+        return _ERROR_VERDICT
     return classify_body(sample.body, registry)
+
+
+def classify_samples(samples: Iterable[Sample],
+                     registry: Optional[FingerprintRegistry] = None,
+                     cache: Optional[Dict[str, Verdict]] = None
+                     ) -> List[Verdict]:
+    """Classify a batch of samples, memoizing by body text.
+
+    Block pages, captchas, and stock error pages are template-generated,
+    so scans see the same body text many times; fingerprint matching runs
+    once per distinct body instead of once per sample.  Pass a ``cache``
+    dict to share the memo across several batches (e.g. per-pair batches
+    over one dataset).  Returns one verdict per sample, in order —
+    element-wise identical to calling :func:`classify_sample` on each.
+    """
+    reg = registry or FingerprintRegistry.default()
+    memo: Dict[str, Verdict] = cache if cache is not None else {}
+    out: List[Verdict] = []
+    for sample in samples:
+        if not sample.ok:
+            out.append(_ERROR_VERDICT)
+            continue
+        body = sample.body
+        if body is None:
+            out.append(_OK_VERDICT)
+            continue
+        verdict = memo.get(body)
+        if verdict is None:
+            verdict = classify_body(body, reg)
+            memo[body] = verdict
+        out.append(verdict)
+    return out

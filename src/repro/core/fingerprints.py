@@ -116,11 +116,30 @@ class FingerprintRegistry:
         fps.sort(key=lambda f: f.priority)
         self._fingerprints = fps
         self._by_type: Dict[str, Fingerprint] = {f.page_type: f for f in fps}
+        # Match plan: per fingerprint, probe the cheapest (shortest) marker
+        # first and fall through to the full conjunction only on a hit.
+        # Most bodies miss most fingerprints, so the common case is one
+        # short substring search instead of the whole marker set.
+        self._compiled: List[Tuple[str, Tuple[str, ...], str]] = []
+        for f in fps:
+            ordered = sorted(f.markers, key=len)
+            cheapest = ordered[0] if ordered else ""
+            self._compiled.append((cheapest, tuple(ordered[1:]), f.page_type))
 
     @classmethod
     def default(cls) -> "FingerprintRegistry":
-        """The curated 14-signature registry of §4.1.3."""
-        return cls()
+        """The curated 14-signature registry of §4.1.3 (shared instance).
+
+        The registry is immutable after construction (``with_fingerprint``
+        returns a new one), so every registry-less call site shares one
+        cached instance instead of rebuilding 14 fingerprints per call.
+        """
+        global _DEFAULT_REGISTRY
+        if cls is not FingerprintRegistry:
+            return cls()
+        if _DEFAULT_REGISTRY is None:
+            _DEFAULT_REGISTRY = cls()
+        return _DEFAULT_REGISTRY
 
     def __iter__(self) -> Iterator[Fingerprint]:
         return iter(self._fingerprints)
@@ -139,9 +158,9 @@ class FingerprintRegistry:
         """Return the page type of the first matching fingerprint, if any."""
         if not body:
             return None
-        for fingerprint in self._fingerprints:
-            if fingerprint.matches(body):
-                return fingerprint.page_type
+        for cheapest, rest, page_type in self._compiled:
+            if cheapest in body and all(marker in body for marker in rest):
+                return page_type
         return None
 
     def page_types(self) -> List[str]:
@@ -158,3 +177,7 @@ class FingerprintRegistry:
         fps = [f for f in self._fingerprints if f.page_type != fingerprint.page_type]
         fps.append(fingerprint)
         return FingerprintRegistry(fps)
+
+
+#: Lazily-built shared instance behind :meth:`FingerprintRegistry.default`.
+_DEFAULT_REGISTRY: Optional[FingerprintRegistry] = None

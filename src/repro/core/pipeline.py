@@ -21,6 +21,7 @@ from repro.core.classify import (
     VERDICT_EXPLICIT,
     classify_body,
     classify_sample,
+    classify_samples,
 )
 from repro.core.consistency import DomainConsistency, domain_consistency
 from repro.core.discovery import DiscoveredCluster, discover, registry_from_discovery
@@ -36,6 +37,7 @@ from repro.core.resample import (
 from repro.datasets.alexa import AlexaList
 from repro.datasets.citizenlab import CitizenLabList
 from repro.datasets.fortiguard import FortiGuardClient
+from repro.lumscan.engine import ScanEngine
 from repro.lumscan.records import ScanDataset
 from repro.lumscan.scanner import Lumscan, LumscanConfig
 from repro.proxynet.luminati import LuminatiClient
@@ -60,6 +62,7 @@ class StudyConfig:
     min_cluster_size: int = 1
     sample_fraction_top1m: float = 0.85  # §5.1.2 sampling of safe customers
     seed: int = 0
+    workers: int = 1                  # scan-engine pool width (1 = inline)
 
 
 # ===================================================================== #
@@ -120,7 +123,7 @@ def build_safe_list(world: World, domains: Sequence[str],
     return cl.filter_out(fg.filter_safe(domains))
 
 
-def rank_countries_by_blocking(world: World, lumscan: Lumscan,
+def rank_countries_by_blocking(world: World, lumscan: "Lumscan | ScanEngine",
                                countries: Sequence[str],
                                config: StudyConfig) -> List[str]:
     """Rank countries by observed Akamai/Cloudflare block pages.
@@ -141,10 +144,8 @@ def rank_countries_by_blocking(world: World, lumscan: Lumscan,
     data = lumscan.scan(urls, countries, samples=config.ranking_samples)
     known = FingerprintRegistry.default()
     counts: Counter = Counter()
-    for sample in data:
-        if sample.status != 403 or sample.body is None:
-            continue
-        verdict = classify_sample(sample, known)
+    flagged = [s for s in data if s.status == 403 and s.body is not None]
+    for sample, verdict in zip(flagged, classify_samples(flagged, known)):
         if (verdict.is_blockpage
                 and verdict.provider in ("cloudflare", "akamai")):
             counts[sample.country] += 1
@@ -163,21 +164,22 @@ def run_top10k_study(world: World,
     cfg = config or StudyConfig()
     lum = luminati or LuminatiClient(world)
     scanner = Lumscan(lum, config=lumscan_config, seed=cfg.seed)
+    engine = ScanEngine(scanner, workers=cfg.workers)
     alexa = AlexaList(world.population)
     countries = lum.countries()
 
     safe_domains = build_safe_list(world, alexa.top10k())
     urls = [f"http://{d}/" for d in safe_domains]
-    logger.info("top10k: %d safe domains, %d countries",
-                len(safe_domains), len(countries))
+    logger.info("top10k: %d safe domains, %d countries (%d workers)",
+                len(safe_domains), len(countries), cfg.workers)
 
     # Rank countries first (the exploratory scan the paper ran earlier).
-    top_blocking = rank_countries_by_blocking(world, scanner, countries, cfg)
+    top_blocking = rank_countries_by_blocking(world, engine, countries, cfg)
     reference_countries = top_blocking[: cfg.top_k_countries]
     logger.info("top10k: country ranking done; top5=%s", top_blocking[:5])
 
     # Initial snapshot: 3 samples per pair, every country.
-    initial = scanner.scan(urls, countries, samples=cfg.samples_initial)
+    initial = engine.scan(urls, countries, samples=cfg.samples_initial)
     logger.info("top10k: initial scan complete (%d samples)", len(initial))
 
     refused = sorted({s.domain for s in initial if s.error == "luminati-refusal"})
@@ -208,7 +210,7 @@ def run_top10k_study(world: World,
     candidates = find_candidate_pairs(initial, registry, explicit_only=True)
     logger.info("top10k: %d candidate pairs; resampling %dx",
                 len(candidates), cfg.samples_confirm)
-    resampled = scanner.resample(sorted(candidates), cfg.samples_confirm, epoch=1)
+    resampled = engine.resample(sorted(candidates), cfg.samples_confirm, epoch=1)
     confirmed = confirm_blocks(initial, resampled, registry,
                                threshold=cfg.agreement_threshold)
     logger.info("top10k: %d confirmed instances", len(confirmed))
@@ -248,10 +250,9 @@ def _count_non_explicit_pages(dataset: ScanDataset,
                               registry: FingerprintRegistry) -> Counter:
     """Counts of captchas/challenges/ambiguous pages (§4.2.2's 200,417)."""
     counts: Counter = Counter()
-    for sample in dataset:
-        if sample.body is None or not sample.ok:
-            continue
-        verdict = classify_sample(sample, registry)
+    # Batch classification: failed / body-less samples classify to
+    # error/ok, which the kind filter drops — no pre-filtering needed.
+    for verdict in classify_samples(dataset, registry):
         if verdict.kind in (VERDICT_CHALLENGE, VERDICT_AMBIGUOUS):
             counts[verdict.page_type] += 1
     return counts
@@ -320,6 +321,7 @@ def run_top1m_study(world: World,
     cfg = config or StudyConfig()
     lum = luminati or LuminatiClient(world)
     scanner = Lumscan(lum, seed=cfg.seed)
+    engine = ScanEngine(scanner, workers=cfg.workers)
     reg = registry or FingerprintRegistry.default()
     alexa = AlexaList(world.population)
     countries = lum.countries()
@@ -337,14 +339,14 @@ def run_top1m_study(world: World,
     logger.info("top1m: %d safe customers, %d sampled",
                 len(safe_customers), len(sampled))
 
-    initial = scanner.scan(urls, countries, samples=cfg.samples_initial)
+    initial = engine.scan(urls, countries, samples=cfg.samples_initial)
     logger.info("top1m: initial scan complete (%d samples)", len(initial))
 
     # Explicit geoblockers: resample observed pairs 20x.
     explicit_candidates = find_candidate_pairs(initial, reg,
                                                explicit_only=True)
-    resampled_explicit = scanner.resample(sorted(explicit_candidates),
-                                          cfg.samples_confirm, epoch=1)
+    resampled_explicit = engine.resample(sorted(explicit_candidates),
+                                         cfg.samples_confirm, epoch=1)
     confirmed = confirm_blocks(initial, resampled_explicit, reg,
                                threshold=cfg.agreement_threshold)
 
@@ -352,22 +354,20 @@ def run_top1m_study(world: World,
     # anywhere is resampled 20x in *every* country (§5.1.2).
     flagged: Dict[str, List[str]] = {p: [] for p in _NONEXPLICIT_PROVIDERS}
     flagged_domains: Set[str] = set()
-    for sample in initial:
-        if sample.body is None or not sample.ok:
-            continue
-        verdict = classify_sample(sample, reg)
+    for index, verdict in enumerate(classify_samples(initial, reg)):
         if verdict.kind == VERDICT_AMBIGUOUS and verdict.provider in flagged:
-            if sample.domain not in flagged_domains:
-                flagged[verdict.provider].append(sample.domain)
-                flagged_domains.add(sample.domain)
+            domain = initial.row(index).domain
+            if domain not in flagged_domains:
+                flagged[verdict.provider].append(domain)
+                flagged_domains.add(domain)
     nonexplicit_pairs = [(d, c) for d in sorted(flagged_domains)
                          for c in countries]
     logger.info("top1m: %d explicit candidates confirmed=%d; "
                 "%d non-explicit flagged domains -> %d resample pairs",
                 len(explicit_candidates), len(confirmed),
                 len(flagged_domains), len(nonexplicit_pairs))
-    resampled_nonexplicit = scanner.resample(nonexplicit_pairs,
-                                             cfg.samples_confirm, epoch=1)
+    resampled_nonexplicit = engine.resample(nonexplicit_pairs,
+                                            cfg.samples_confirm, epoch=1)
     consistency = domain_consistency(
         resampled_nonexplicit, reg,
         page_types=(blockpages.AKAMAI_BLOCK, blockpages.INCAPSULA_BLOCK))
@@ -498,7 +498,7 @@ def run_vps_exploration(world: World,
 # Observation pools for Figures 1 and 3
 
 
-def build_observation_pools(world: World, scanner: Lumscan,
+def build_observation_pools(world: World, scanner: "Lumscan | ScanEngine",
                             pairs: Sequence[Tuple[str, str]],
                             registry: Optional[FingerprintRegistry] = None,
                             samples: int = 100,
@@ -507,9 +507,9 @@ def build_observation_pools(world: World, scanner: Lumscan,
     reg = registry or FingerprintRegistry.default()
     data = scanner.resample(list(pairs), samples, epoch=epoch)
     pools: Dict[Tuple[str, str], List[bool]] = {}
+    memo: Dict[str, object] = {}
     for domain, country, samples_list in data.pairs():
         pool = pools.setdefault((domain, country), [])
-        for sample in samples_list:
-            verdict = classify_sample(sample, reg)
+        for verdict in classify_samples(samples_list, reg, cache=memo):
             pool.append(verdict.kind == VERDICT_EXPLICIT)
     return pools

@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.classify import VERDICT_EXPLICIT, classify_sample
+from repro.core.classify import VERDICT_EXPLICIT, Verdict, classify_samples
 from repro.core.fingerprints import FingerprintRegistry, PAGE_PROVIDER
 from repro.lumscan.records import Sample, ScanDataset
 
@@ -45,9 +45,9 @@ def find_candidate_pairs(dataset: ScanDataset,
     """
     reg = registry or FingerprintRegistry.default()
     candidates: Dict[Tuple[str, str], str] = {}
+    memo: Dict[str, Verdict] = {}
     for domain, country, samples in dataset.pairs():
-        for sample in samples:
-            verdict = classify_sample(sample, reg)
+        for verdict in classify_samples(samples, reg, cache=memo):
             if verdict.page_type is None:
                 continue
             if explicit_only and verdict.kind != VERDICT_EXPLICIT:
@@ -65,13 +65,13 @@ def block_rates(dataset: ScanDataset,
     """Per pair: (block-page samples, total samples, dominant page type)."""
     reg = registry or FingerprintRegistry.default()
     rates: Dict[Tuple[str, str], Tuple[int, int, Optional[str]]] = {}
+    memo: Dict[str, Verdict] = {}
     for domain, country, samples in dataset.pairs():
         hits = 0
         total = 0
         page_type: Optional[str] = None
-        for sample in samples:
+        for verdict in classify_samples(samples, reg, cache=memo):
             total += 1
-            verdict = classify_sample(sample, reg)
             if verdict.page_type is None:
                 continue
             is_hit = (verdict.kind == VERDICT_EXPLICIT if explicit_only

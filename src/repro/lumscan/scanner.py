@@ -12,20 +12,30 @@ Lumscan improves raw proxy measurements four ways, all reproduced here:
    browser header set by default (caller-overridable).
 4. **Load balancing / rotation** — at most ``requests_per_exit`` requests
    are sent through any exit before rotating, bounding per-user resource
-   consumption; requests are spread across superproxies.
+   consumption; requests are spread round-robin across superproxies.
+
+Scan-shaped work (``scan`` / ``resample``) runs through the task model of
+:mod:`repro.lumscan.engine`: each (country, url, sample) probe owns a
+derived RNG and its own exit-rotation state, so the dataset a scan
+produces is a pure function of the seed and the task list — independent
+of execution order, and therefore shardable across the engine's worker
+pool without changing a single byte of output.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+import random
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
 
 logger = logging.getLogger("repro.lumscan")
 
 from repro.httpsim.messages import Headers
 from repro.httpsim.useragent import browser_headers
-from repro.lumscan.records import NO_RESPONSE, ScanDataset
+from repro.lumscan.engine import ProbeTask, ScanEngine, record_probe
+from repro.lumscan.records import ScanDataset
 from repro.netsim.errors import NoExitAvailable
 from repro.proxynet.luminati import ExitNode, LuminatiClient, ProbeResult
 from repro.util.rng import derive_rng
@@ -42,6 +52,19 @@ class LumscanConfig:
     max_redirects: int = 10
 
 
+@dataclass
+class RotationState:
+    """Exit-rotation bookkeeping for one probe stream.
+
+    Scan tasks each own a fresh state (per-task rotation); the legacy
+    ``probe()`` entry point keeps one long-lived instance state.
+    """
+
+    exit_node: Optional[ExitNode] = None
+    uses: int = 0
+    country: Optional[str] = None
+
+
 class Lumscan:
     """Scanning tool built on a :class:`LuminatiClient`."""
 
@@ -52,65 +75,62 @@ class Lumscan:
         self._luminati = luminati
         self._config = config or LumscanConfig()
         self._headers = headers or browser_headers()
+        self._seed = seed
         self._rng = derive_rng(seed, "lumscan")
-        self._current_exit: Optional[ExitNode] = None
-        self._current_exit_uses = 0
-        self._current_country: Optional[str] = None
+        self._rotation = RotationState()
         self.superproxy_loads = [0] * self._config.superproxies
+        self._superproxy_cursor = 0
+        self._superproxy_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
 
-    def probe(self, url: str, country: str, epoch: int = 0) -> ProbeResult:
-        """One logical measurement: verified exit, retries, rotation."""
-        attempts = 1 + self._config.retries
-        result: Optional[ProbeResult] = None
-        for _ in range(attempts):
-            try:
-                exit_node = self._next_exit(country)
-            except NoExitAvailable as exc:
-                return ProbeResult(url=url, country=country, response=None,
-                                   error=exc.kind)
-            self._balance_superproxy()
-            result = self._luminati.request(
-                url, country, headers=self._headers, exit_node=exit_node,
-                max_redirects=self._config.max_redirects, epoch=epoch)
-            if result.ok:
-                return result
-            # Rotate away from the failing exit before retrying.
-            self._current_exit = None
-        assert result is not None
-        return result
+    def probe(self, url: str, country: str, epoch: int = 0,
+              rng: Optional[random.Random] = None) -> ProbeResult:
+        """One logical measurement: verified exit, retries, rotation.
+
+        Without ``rng`` this consumes the scanner's shared stream and
+        long-lived rotation state (ad-hoc probing).  With ``rng`` the probe
+        is self-contained: private rotation state, every draw from the
+        caller's rng — the form scan tasks use.
+        """
+        if rng is None:
+            return self._probe(url, country, epoch, self._rng, self._rotation)
+        return self._probe(url, country, epoch, rng, RotationState())
+
+    def run_task(self, task: ProbeTask) -> ProbeResult:
+        """Execute one scan task with its derived RNG (engine entry point)."""
+        return self._probe(task.url, task.country, task.epoch,
+                           self.task_rng(task), RotationState())
+
+    def task_rng(self, task: ProbeTask) -> random.Random:
+        """The private RNG owned by one scan task.
+
+        Seeded from the task's full identity, so any worker that picks the
+        task up draws the identical stream.
+        """
+        return derive_rng(self._seed, "task", task.country, task.domain,
+                          task.sample_idx, task.epoch)
 
     def scan(self, urls: Sequence[str], countries: Sequence[str],
              samples: int = 3, epoch: int = 0,
-             dataset: Optional[ScanDataset] = None) -> ScanDataset:
+             dataset: Optional[ScanDataset] = None,
+             workers: int = 1) -> ScanDataset:
         """Probe every (country, domain) pair ``samples`` times.
 
         Results for a pair are appended contiguously, which downstream
-        consumers (``ScanDataset.pairs``) rely on.  Progress is logged
-        per country at DEBUG level (long scans cover millions of probes).
+        consumers (``ScanDataset.pairs``) rely on.  ``workers`` > 1 shards
+        the task space across a thread pool via :class:`ScanEngine`; the
+        output is identical to ``workers=1`` regardless of the count.
         """
-        data = dataset if dataset is not None else ScanDataset()
-        for index, country in enumerate(countries):
-            for url in urls:
-                domain = self._domain_of(url)
-                for _ in range(samples):
-                    self._record(data, domain, country,
-                                 self.probe(url, country, epoch=epoch))
-            logger.debug("scan: country %d/%d (%s) done, %d records",
-                         index + 1, len(countries), country, len(data))
-        return data
+        return ScanEngine(self, workers=workers).scan(
+            urls, countries, samples=samples, epoch=epoch, dataset=dataset)
 
     def resample(self, pairs: Iterable, samples: int, epoch: int = 0,
-                 dataset: Optional[ScanDataset] = None) -> ScanDataset:
+                 dataset: Optional[ScanDataset] = None,
+                 workers: int = 1) -> ScanDataset:
         """Re-probe specific (domain, country) pairs ``samples`` times."""
-        data = dataset if dataset is not None else ScanDataset()
-        for domain, country in pairs:
-            url = f"http://{domain}/"
-            for _ in range(samples):
-                self._record(data, domain, country,
-                             self.probe(url, country, epoch=epoch))
-        return data
+        return ScanEngine(self, workers=workers).resample(
+            pairs, samples, epoch=epoch, dataset=dataset)
 
     # ------------------------------------------------------------------ #
 
@@ -119,40 +139,56 @@ class Lumscan:
         host = url.split("://", 1)[-1].split("/", 1)[0]
         return host[4:] if host.startswith("www.") else host
 
-    @staticmethod
-    def _record(data: ScanDataset, domain: str, country: str,
-                result: ProbeResult) -> None:
-        if result.ok:
-            response = result.response
-            data.append(domain, country, response.status, len(response.body),
-                        response.body, interfered=result.interfered)
-        else:
-            data.append(domain, country, NO_RESPONSE, 0, None, error=result.error)
+    def _probe(self, url: str, country: str, epoch: int,
+               rng: random.Random, state: RotationState) -> ProbeResult:
+        attempts = 1 + self._config.retries
+        result: Optional[ProbeResult] = None
+        for _ in range(attempts):
+            rotate = (
+                state.exit_node is None
+                or state.country != country
+                or state.uses >= self._config.requests_per_exit
+            )
+            if rotate:
+                try:
+                    state.exit_node = self._pick_verified_exit(country, rng)
+                except NoExitAvailable as exc:
+                    return ProbeResult(url=url, country=country, response=None,
+                                       error=exc.kind)
+                state.uses = 0
+                state.country = country
+            state.uses += 1
+            self._balance_superproxy()
+            result = self._luminati.request(
+                url, country, headers=self._headers, exit_node=state.exit_node,
+                max_redirects=self._config.max_redirects, epoch=epoch, rng=rng)
+            if result.ok:
+                return result
+            # Rotate away from the failing exit before retrying.
+            state.exit_node = None
+        assert result is not None
+        return result
 
-    def _next_exit(self, country: str) -> ExitNode:
-        rotate = (
-            self._current_exit is None
-            or self._current_country != country
-            or self._current_exit_uses >= self._config.requests_per_exit
-        )
-        if rotate:
-            self._current_exit = self._pick_verified_exit(country)
-            self._current_exit_uses = 0
-            self._current_country = country
-        self._current_exit_uses += 1
-        return self._current_exit
-
-    def _pick_verified_exit(self, country: str) -> ExitNode:
+    def _pick_verified_exit(self, country: str,
+                            rng: random.Random) -> ExitNode:
         for _ in range(5):
-            node = self._luminati.pick_exit(country, rng=self._rng)
+            node = self._luminati.pick_exit(country, rng=rng)
             if not self._config.verify_exits:
                 return node
             echo = self._luminati.verify_connectivity(node)
             if echo.get("ip"):
                 return node
-        return self._luminati.pick_exit(country, rng=self._rng)
+        return self._luminati.pick_exit(country, rng=rng)
 
     def _balance_superproxy(self) -> int:
-        index = self.superproxy_loads.index(min(self.superproxy_loads))
-        self.superproxy_loads[index] += 1
-        return index
+        # Round-robin by counter: O(1) instead of an O(superproxies) min()
+        # scan, and trivially balanced (loads never differ by more than 1).
+        with self._superproxy_lock:
+            index = self._superproxy_cursor
+            self._superproxy_cursor = (index + 1) % len(self.superproxy_loads)
+            self.superproxy_loads[index] += 1
+            return index
+
+    # Kept as an alias so existing callers/tests that append probe results
+    # to datasets keep working; the implementation lives in the engine.
+    _record = staticmethod(record_probe)

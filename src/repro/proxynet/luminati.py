@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import itertools
 import random
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.httpsim.messages import Headers, Request, Response
 from repro.httpsim.url import parse_url
@@ -124,6 +125,7 @@ class LuminatiClient:
         self._rng = derive_rng(self._seed, "luminati")
         self._exit_cache: Dict[str, List[ExitNode]] = {}
         self._request_count = 0
+        self._count_lock = threading.Lock()
         # Hot-path caches: these predicates are deterministic functions of
         # (seed, domain[, country/exit]), so memoizing them is semantics-
         # preserving and avoids re-hashing on every probe.
@@ -186,9 +188,17 @@ class LuminatiClient:
                 headers: Optional[Headers] = None,
                 exit_node: Optional[ExitNode] = None,
                 max_redirects: int = DEFAULT_MAX_REDIRECTS,
-                epoch: int = 0) -> ProbeResult:
-        """Issue one probe from a residential exit in ``country``."""
-        self._request_count += 1
+                epoch: int = 0,
+                rng: Optional[random.Random] = None) -> ProbeResult:
+        """Issue one probe from a residential exit in ``country``.
+
+        ``rng``, when given, supplies every random draw the probe makes
+        (path-failure rolls here, noise and render draws in the world), so
+        the outcome is a pure function of the caller's rng state — the
+        foundation of the scan engine's order-independent determinism.
+        """
+        with self._count_lock:
+            self._request_count += 1
         target = parse_url(url)
         domain_name = self._registrable(target.host)
 
@@ -196,7 +206,7 @@ class LuminatiClient:
             return ProbeResult(url=url, country=country, response=None,
                                error=LuminatiRefusal.kind)
         try:
-            node = exit_node or self.pick_exit(country)
+            node = exit_node or self.pick_exit(country, rng=rng)
         except NoExitAvailable as exc:
             return ProbeResult(url=url, country=country, response=None,
                                error=exc.kind)
@@ -204,7 +214,7 @@ class LuminatiClient:
         geo = self._world.geoip.lookup(node.ip)
         geo_country = geo.country if geo else None
 
-        if self._path_fails(domain_name, country):
+        if self._path_fails(domain_name, country, rng):
             return ProbeResult(url=url, country=country, response=None,
                                error=ConnectionTimeout.kind, exit_ip=node.ip,
                                geo_country=geo_country)
@@ -221,7 +231,7 @@ class LuminatiClient:
         try:
             result: FetchResult = fetch_with_redirects(
                 self._world, request, node.ip,
-                max_redirects=max_redirects, epoch=epoch)
+                max_redirects=max_redirects, epoch=epoch, rng=rng)
         except FetchError as exc:
             return ProbeResult(url=url, country=country, response=None,
                                error=exc.kind, exit_ip=node.ip,
@@ -255,7 +265,8 @@ class LuminatiClient:
         self._refusal_cache[domain_name] = refused
         return refused
 
-    def _path_fails(self, domain_name: str, country: str) -> bool:
+    def _path_fails(self, domain_name: str, country: str,
+                    rng: Optional[random.Random] = None) -> bool:
         info = self._world.registry.get(country)
         key = (domain_name, country)
         flaky = self._flaky_cache.get(key)
@@ -264,10 +275,11 @@ class LuminatiClient:
             pair_rng = derive_rng(self._seed, "pair-flaky", domain_name, country)
             flaky = pair_rng.random() < flaky_p
             self._flaky_cache[key] = flaky
+        draw = rng if rng is not None else self._rng
         if flaky:
-            return self._rng.random() < _FLAKY_FAIL
+            return draw.random() < _FLAKY_FAIL
         transient = (1.0 - info.reliability) * _HEALTHY_FAIL_SCALE
-        return self._rng.random() < transient
+        return draw.random() < transient
 
     def _locally_filtered(self, node: ExitNode, domain_name: str) -> bool:
         key = (node.node_id, domain_name)

@@ -8,8 +8,9 @@ look for provider headers *anywhere in the redirect chain* (§5.1.1).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.httpsim.messages import Request, Response
 from repro.netsim.errors import TooManyRedirects
@@ -32,16 +33,19 @@ class FetchResult:
 
 def fetch_with_redirects(world, request: Request, client_ip: str,
                          max_redirects: int = DEFAULT_MAX_REDIRECTS,
-                         epoch: int = 0) -> FetchResult:
+                         epoch: int = 0,
+                         rng: Optional[random.Random] = None) -> FetchResult:
     """Fetch a URL, following up to ``max_redirects`` redirects.
 
     Raises :class:`TooManyRedirects` when the chain exceeds the limit, or
     propagates any :class:`~repro.netsim.errors.FetchError` from the world.
+    ``rng``, when given, scopes every random draw of the whole chain to the
+    caller (see :meth:`repro.websim.world.World.fetch`).
     """
     chain: List[Response] = []
     current = request
     for _ in range(max_redirects + 1):
-        response = world.fetch(current, client_ip, epoch=epoch)
+        response = world.fetch(current, client_ip, epoch=epoch, rng=rng)
         if not response.is_redirect:
             return FetchResult(response=response, chain=chain)
         chain.append(response)

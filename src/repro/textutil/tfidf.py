@@ -67,18 +67,27 @@ class TfidfVectorizer:
         return self._build_matrix([self._counts(d) for d in documents])
 
     def _build_matrix(self, doc_counts) -> sparse.csr_matrix:
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
         vocab = self.vocabulary_
         idf = self.idf_
+        # Preallocate index/value arrays at the upper bound (total terms
+        # across documents) and fill them in one pass — no growing Python
+        # lists over every nonzero, and the tf*idf product is vectorized.
+        bound = sum(len(counts) for counts in doc_counts)
+        rows = np.empty(bound, dtype=np.int64)
+        cols = np.empty(bound, dtype=np.int64)
+        vals = np.empty(bound, dtype=np.float64)
+        pos = 0
         for row, counts in enumerate(doc_counts):
             for term, count in counts.items():
                 col = vocab.get(term)
                 if col is not None:
-                    rows.append(row)
-                    cols.append(col)
-                    vals.append(count * idf[col])
+                    rows[pos] = row
+                    cols[pos] = col
+                    vals[pos] = count
+                    pos += 1
+        rows = rows[:pos]
+        cols = cols[:pos]
+        vals = vals[:pos] * idf[cols]
         matrix = sparse.csr_matrix(
             (vals, (rows, cols)), shape=(len(doc_counts), len(vocab)))
         # L2-normalize each row (all-zero rows stay zero).

@@ -25,6 +25,8 @@ bit-for-bit reproducible.
 
 from __future__ import annotations
 
+import random
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -166,6 +168,7 @@ class World:
         self._page_cache: Dict[str, str] = {}
         self._clearances: Dict[str, set] = {}
         self.fetch_count = 0
+        self._count_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -241,13 +244,22 @@ class World:
     # ------------------------------------------------------------------ #
     # Fetch
 
-    def fetch(self, request: Request, client_ip: str, epoch: int = 0) -> Response:
+    def fetch(self, request: Request, client_ip: str, epoch: int = 0,
+              rng: Optional[random.Random] = None) -> Response:
         """Serve one HTTP request from the synthetic web.
 
         Raises a :class:`~repro.netsim.errors.FetchError` subclass when the
         request cannot produce an HTTP response (censorship resets/timeouts).
+
+        When ``rng`` is given, every random draw this request makes (bot
+        heuristics, body jitter, rendered page noise) comes from it instead
+        of the world's shared sequential streams.  A caller that derives
+        ``rng`` from the request's identity therefore gets an outcome that
+        does not depend on what other traffic the world has served — the
+        property the parallel scan engine's determinism contract rests on.
         """
-        self.fetch_count += 1
+        with self._count_lock:
+            self.fetch_count += 1
         domain = self._resolve(request.url.host)
         if domain is None:
             raise FetchError(f"could not resolve {request.url.host}")
@@ -268,25 +280,27 @@ class World:
         seen_region = geo.region if geo else None
         policy = self.policies.get(domain.name)
 
-        edge_headers = self._edge_headers(domain, request)
+        edge_headers = self._edge_headers(domain, request, rng)
         if policy is not None and policy.blocks(seen_country, seen_region, epoch):
             if policy.action == "drop":
                 # Timeout-style geoblocking (§7.3): the origin silently
                 # drops connections from blocked countries.
                 raise ConnectionTimeout(f"timeout fetching {request.url}")
             return self._render_page(policy.block_page, domain, seen_country,
-                                     edge_headers)
+                                     edge_headers, rng)
         if request.url.path.startswith("/cdn-cgi/l/chk_"):
             # Challenge-solution endpoint (captcha answer / JS result).
-            return self._solve_challenge(domain, request, edge_headers)
+            return self._solve_challenge(domain, request, edge_headers, rng)
         if (policy is not None and policy.challenges(seen_country)
                 and not self._has_clearance(domain, request)):
             page = policy.challenge_page or blockpages.CLOUDFLARE_CAPTCHA
-            return self._render_page(page, domain, seen_country, edge_headers)
+            return self._render_page(page, domain, seen_country, edge_headers,
+                                     rng)
 
-        if self._bot_flagged(domain, request):
+        if self._bot_flagged(domain, request, rng):
             page = self._bot_page(domain)
-            return self._render_page(page, domain, seen_country, edge_headers)
+            return self._render_page(page, domain, seen_country, edge_headers,
+                                     rng)
 
         redirect = self._redirect_for(domain, request)
         if redirect is not None:
@@ -298,6 +312,9 @@ class World:
             )
             return response
 
+        # The per-domain base page is a pure function of (seed, domain), so
+        # a concurrent double-compute under threads is benign: both threads
+        # produce and store the identical string.
         base = self._page_cache.get(domain.name)
         if base is None:
             base = generate_page(domain.name, domain.category, seed=self.config.seed)
@@ -313,7 +330,7 @@ class World:
                 price_multiplier=degradation.price_multipliers.get(
                     seen_country, 1.0),
             )
-        body = sample_jitter(base, self._noise_rng)
+        body = sample_jitter(base, rng if rng is not None else self._noise_rng)
         headers = edge_headers
         headers.add("Content-Type", "text/html; charset=utf-8")
         return Response(status=200, headers=headers, body=body, url=request.url)
@@ -340,18 +357,20 @@ class World:
             raise ConnectionReset(f"connection reset fetching {request.url}")
         raise ConnectionTimeout(f"timeout fetching {request.url}")
 
-    def _edge_headers(self, domain: Domain, request: Request) -> Headers:
+    def _edge_headers(self, domain: Domain, request: Request,
+                      rng: Optional[random.Random] = None) -> Headers:
+        render = rng if rng is not None else self._render_rng
         headers = Headers([("Date", "Tue, 10 Jul 2018 00:00:00 GMT")])
         for provider in domain.providers():
             if provider == CLOUDFLARE:
-                ray = f"{self._render_rng.getrandbits(48):012x}"
+                ray = f"{render.getrandbits(48):012x}"
                 headers.add("CF-RAY", f"{ray}-SIM")
                 headers.add("Server", "cloudflare")
             elif provider == CLOUDFRONT:
-                headers.add("X-Amz-Cf-Id", f"{self._render_rng.getrandbits(64):016x}")
+                headers.add("X-Amz-Cf-Id", f"{render.getrandbits(64):016x}")
                 headers.add("Via", "1.1 sim.cloudfront.net (CloudFront)")
             elif provider == INCAPSULA:
-                headers.add("X-Iinfo", f"1-{self._render_rng.getrandbits(30)} NNNN CT")
+                headers.add("X-Iinfo", f"1-{render.getrandbits(30)} NNNN CT")
             elif provider == AKAMAI:
                 pragma = request.headers.get("Pragma", "")
                 if "akamai-x-cache-on" in pragma:
@@ -363,12 +382,14 @@ class World:
                 headers.add("Server", "Google Frontend")
         return headers
 
-    def _bot_flagged(self, domain: Domain, request: Request) -> bool:
+    def _bot_flagged(self, domain: Domain, request: Request,
+                     rng: Optional[random.Random] = None) -> bool:
+        noise = rng if rng is not None else self._noise_rng
         profile = self._client_profile(request.headers)
         if domain.bot_protection:
-            return self._noise_rng.random() < _BOT_TRIGGER[profile]
+            return noise.random() < _BOT_TRIGGER[profile]
         if profile == "curl" and domain.is_cdn_fronted:
-            return self._noise_rng.random() < _CURL_BASELINE_TRIGGER
+            return noise.random() < _CURL_BASELINE_TRIGGER
         return False
 
     @staticmethod
@@ -390,7 +411,8 @@ class World:
         return blockpages.NGINX_403
 
     def _solve_challenge(self, domain: Domain, request: Request,
-                         edge_headers: Headers) -> Response:
+                         edge_headers: Headers,
+                         rng: Optional[random.Random] = None) -> Response:
         """Handle ``/cdn-cgi/l/chk_jschl`` / ``chk_captcha`` submissions.
 
         A well-formed submission (the hidden fields a JS-running browser or
@@ -408,8 +430,9 @@ class World:
         )
         if not well_formed:
             return self._render_page(blockpages.CLOUDFLARE_CAPTCHA, domain,
-                                     "ZZ", edge_headers)
-        token = f"{self._render_rng.getrandbits(80):020x}"
+                                     "ZZ", edge_headers, rng)
+        render = rng if rng is not None else self._render_rng
+        token = f"{render.getrandbits(80):020x}"
         self._clearances.setdefault(domain.name, set()).add(token)
         response = Response(status=302, headers=edge_headers, url=request.url)
         response.headers.add("Location", f"{request.url.scheme}://{request.url.host}/")
@@ -439,8 +462,10 @@ class World:
         return None
 
     def _render_page(self, page_type: str, domain: Domain, country: str,
-                     edge_headers: Headers) -> Response:
-        rendered = blockpages.render(page_type, self._render_rng, domain.name, country)
+                     edge_headers: Headers,
+                     rng: Optional[random.Random] = None) -> Response:
+        render = rng if rng is not None else self._render_rng
+        rendered = blockpages.render(page_type, render, domain.name, country)
         headers = edge_headers
         for name, value in rendered.extra_headers:
             headers.add(name, value)

@@ -1,0 +1,133 @@
+"""Batch classification fast path: memoization and cache correctness."""
+
+import random
+
+import pytest
+
+from repro.core.classify import (
+    VERDICT_ERROR,
+    VERDICT_OK,
+    classify_body,
+    classify_sample,
+    classify_samples,
+)
+from repro.core.fingerprints import FingerprintRegistry
+from repro.lumscan.records import Sample
+from repro.websim import blockpages
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(3)
+
+
+def _page_sample(page_type, rng, domain="a.com", country="IR", status=403):
+    page = blockpages.render(page_type, rng, domain, country)
+    return Sample(domain=domain, country=country, status=status,
+                  length=len(page.body), body=page.body, error=None)
+
+
+@pytest.fixture(scope="module")
+def mixed_samples(rng):
+    samples = []
+    for page_type in blockpages.ALL_PAGE_TYPES:
+        samples.append(_page_sample(page_type, rng))
+    samples.append(Sample(domain="ok.com", country="US", status=200,
+                          length=20, body="<html>plain page</html>", error=None))
+    samples.append(Sample(domain="big.com", country="US", status=200,
+                          length=500_000, body=None, error=None))
+    samples.append(Sample(domain="down.com", country="IR", status=0,
+                          length=0, body=None, error="timeout"))
+    samples.append(Sample(
+        domain="cens.ir", country="IR", status=200, length=60,
+        body="<iframe src='http://10.10.34.34?type=x'></iframe>", error=None))
+    # Duplicate every sample to exercise the memo hit path.
+    return samples + list(samples)
+
+
+class TestBatchMatchesPerSample:
+    def test_elementwise_equal_to_classify_sample(self, mixed_samples):
+        batch = classify_samples(mixed_samples)
+        singles = [classify_sample(s) for s in mixed_samples]
+        assert batch == singles
+
+    def test_elementwise_equal_with_explicit_registry(self, mixed_samples):
+        registry = FingerprintRegistry()
+        batch = classify_samples(mixed_samples, registry)
+        singles = [classify_sample(s, registry) for s in mixed_samples]
+        assert batch == singles
+
+    def test_error_and_bodyless_samples(self):
+        samples = [
+            Sample(domain="d", country="US", status=0, length=0,
+                   body=None, error="timeout"),
+            Sample(domain="d", country="US", status=200, length=9_999_999,
+                   body=None, error=None),
+        ]
+        kinds = [v.kind for v in classify_samples(samples)]
+        assert kinds == [VERDICT_ERROR, VERDICT_OK]
+
+    def test_empty_batch(self):
+        assert classify_samples([]) == []
+
+
+class TestMemoization:
+    def test_memo_populated_per_distinct_body(self, mixed_samples):
+        cache = {}
+        classify_samples(mixed_samples, cache=cache)
+        distinct = {s.body for s in mixed_samples
+                    if s.ok and s.body is not None}
+        assert set(cache) == distinct
+
+    def test_shared_cache_across_batches(self, mixed_samples):
+        cache = {}
+        first = classify_samples(mixed_samples, cache=cache)
+        before = dict(cache)
+        second = classify_samples(mixed_samples, cache=cache)
+        assert first == second
+        assert cache == before  # second pass was all memo hits
+
+    def test_memo_hits_skip_registry(self, rng):
+        sample = _page_sample(blockpages.AKAMAI_BLOCK, rng)
+
+        class CountingRegistry(FingerprintRegistry):
+            calls = 0
+
+            def match(self, body):
+                CountingRegistry.calls += 1
+                return super().match(body)
+
+        registry = CountingRegistry()
+        classify_samples([sample] * 50, registry)
+        assert CountingRegistry.calls == 1
+
+    def test_cached_verdicts_match_uncached(self, mixed_samples):
+        assert (classify_samples(mixed_samples, cache={})
+                == classify_samples(mixed_samples))
+
+
+class TestDefaultRegistryCache:
+    def test_default_is_shared_singleton(self):
+        assert FingerprintRegistry.default() is FingerprintRegistry.default()
+
+    def test_subclass_default_not_polluted(self):
+        class Custom(FingerprintRegistry):
+            pass
+
+        assert type(Custom.default()) is Custom
+        assert type(FingerprintRegistry.default()) is FingerprintRegistry
+
+    def test_prefilter_equivalent_to_full_conjunction(self, rng):
+        # The compiled cheapest-marker plan must not change match results.
+        registry = FingerprintRegistry.default()
+        for page_type in blockpages.ALL_PAGE_TYPES:
+            page = blockpages.render(page_type, rng, "x.org", "SY")
+            fp = registry.get(page_type)
+            assert fp.matches(page.body)
+            assert registry.match(page.body) == page_type
+
+    def test_registry_less_classify_body_uses_cache(self, rng):
+        page = blockpages.render(blockpages.CLOUDFLARE_BLOCK, rng, "a.com", "IR")
+        v1 = classify_body(page.body)
+        v2 = classify_body(page.body, FingerprintRegistry.default())
+        assert v1 == v2

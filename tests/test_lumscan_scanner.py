@@ -85,9 +85,20 @@ class TestReliabilityFeatures:
         luminati = LuminatiClient(nano_world)
         scanner = Lumscan(luminati, config=LumscanConfig(requests_per_exit=10))
         urls = _clean_urls(nano_world, 7)
-        scanner.scan(urls, ["US"], samples=3)  # 21 probes -> >= 3 exits
-        # The scanner's current exit must never exceed its use budget.
-        assert scanner._current_exit_uses <= 10
+        # Legacy ad-hoc probes share the scanner's long-lived rotation
+        # state; 21 probes must rotate through >= 3 exits.
+        for url in urls * 3:
+            scanner.probe(url, "US")
+        assert scanner._rotation.uses <= 10
+
+    def test_scan_tasks_rotate_independently(self, nano_world):
+        # Scan tasks own private rotation state: the shared legacy state
+        # must remain untouched by a full scan.
+        luminati = LuminatiClient(nano_world)
+        scanner = Lumscan(luminati, config=LumscanConfig(requests_per_exit=10))
+        scanner.scan(_clean_urls(nano_world, 7), ["US"], samples=3)
+        assert scanner._rotation.exit_node is None
+        assert scanner._rotation.uses == 0
 
     def test_luminati_refusal_recorded(self, nano_world):
         luminati = LuminatiClient(nano_world)
