@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.classify import VERDICT_EXPLICIT, classify_sample
 from repro.core.fingerprints import FingerprintRegistry
 from repro.core.lengths import representative_lengths
@@ -76,17 +78,34 @@ def figure2(dataset: ScanDataset,
     """Figure 2: CDF of relative length difference, blocked vs all pages."""
     reg = registry or FingerprintRegistry.default()
     reps = representative_lengths(dataset, reference_countries)
+    # Vectorized: per-row representative lengths and relative differences
+    # come from one mask expression; only rows with a retained body reach
+    # the fingerprint matcher, memoized over distinct body texts.
+    rep_rows = np.zeros(len(dataset.domains()), dtype=np.int64)
+    for domain, rep in reps.items():
+        code = dataset.domain_code(domain)
+        if code is not None and rep:
+            rep_rows[code] = rep
+    per_row = rep_rows[dataset.domain_code_array()]
+    valid = dataset.ok_array() & (per_row > 0)
+    relative = np.zeros(len(dataset), dtype=np.float64)
+    np.divide(per_row - dataset.length_array(), per_row,
+              out=relative, where=per_row > 0)
+    has_body = dataset.has_body_array()
+    match_memo: Dict[str, bool] = {}
     blocked: List[float] = []
     everything: List[float] = []
-    for sample in dataset:
-        if not sample.ok:
-            continue
-        rep = reps.get(sample.domain)
-        if not rep:
-            continue
-        diff = (rep - sample.length) / rep
+    for index in np.flatnonzero(valid).tolist():
+        diff = float(relative[index])
         everything.append(diff)
-        if sample.body is not None and reg.match(sample.body) is not None:
+        if not has_body[index]:
+            continue
+        body = dataset.body(index)
+        matched = match_memo.get(body)
+        if matched is None:
+            matched = reg.match(body) is not None
+            match_memo[body] = matched
+        if matched:
             blocked.append(diff)
     figure = FigureData(
         title="Figure 2: Relative sizes of block pages and representative pages",

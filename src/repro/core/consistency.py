@@ -19,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.core.classify import classify_sample
+from repro.core.classify import Verdict, classify_body
 from repro.core.fingerprints import FingerprintRegistry
-from repro.lumscan.records import ScanDataset
+from repro.lumscan.records import NO_RESPONSE, ScanDataset
 
 CONSISTENT_RATE = 0.80
 
@@ -80,11 +80,24 @@ def domain_consistency(dataset: ScanDataset,
     reg = registry or FingerprintRegistry.default()
     hits: Dict[str, Dict[str, List[int]]] = {}
     pages: Dict[str, str] = {}
-    for domain, country, samples in dataset.pairs():
+    memo: Dict[str, Verdict] = {}
+    statuses = dataset.status_array()
+    for domain, country, start, stop in dataset.iter_runs():
         counts = hits.setdefault(domain, {}).setdefault(country, [0, 0])
-        for sample in samples:
-            counts[1] += 1
-            verdict = classify_sample(sample, reg)
+        counts[1] += stop - start
+        for index in range(start, stop):
+            # Failed probes classify to `error` and body-less rows to
+            # `ok` — neither is a block page, so only retained bodies
+            # need the fingerprint matcher (once per distinct text).
+            if statuses[index] == NO_RESPONSE:
+                continue
+            body = dataset.body(index)
+            if body is None:
+                continue
+            verdict = memo.get(body)
+            if verdict is None:
+                verdict = classify_body(body, reg)
+                memo[body] = verdict
             if verdict.page_type is None or not verdict.is_blockpage:
                 continue
             if page_types is not None and verdict.page_type not in page_types:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.fingerprints import Fingerprint, FingerprintRegistry
-from repro.textutil.htmltext import extract_text
+from repro.textutil.htmltext import extract_text_cached
 from repro.textutil.linkage import ClusterResult, cluster_documents
 from repro.textutil.ngrams import tokenize, word_ngrams
 
@@ -75,7 +75,7 @@ def extract_signature(members: Sequence[str], background: Sequence[str],
     """
     if not members:
         return ()
-    exemplar_text = extract_text(members[0])
+    exemplar_text = extract_text_cached(members[0])
     tokens = tokenize(exemplar_text)
     candidates = word_ngrams(tokens, _SIGNATURE_NGRAM_RANGE)
     # Deduplicate, longest first so specific phrases are preferred.
@@ -86,8 +86,10 @@ def extract_signature(members: Sequence[str], background: Sequence[str],
             seen.add(gram)
             ordered.append(gram)
 
-    member_texts = [extract_text(m).lower() for m in members]
-    background_texts = [extract_text(b).lower() for b in background]
+    # The cached extractor makes the repeated background scan (the same
+    # corpus is re-checked for every cluster) one extraction per body.
+    member_texts = [extract_text_cached(m).lower() for m in members]
+    background_texts = [extract_text_cached(b).lower() for b in background]
     markers: List[str] = []
     for gram in ordered:
         if not all(gram in text for text in member_texts):

@@ -9,12 +9,20 @@ representative is extracted as a candidate block page.
 The paper notes that *percentage* differences work where raw byte
 differences do not (raw cutoffs excessively penalize long pages); both are
 implemented so the ablation benchmark can reproduce that comparison.
+
+Both kernels are vectorized over the dataset's code columns: the
+per-domain maximum is one ``np.maximum.at`` scatter, and outlier flagging
+is a single boolean-mask expression that yields row indices —
+:class:`Sample` objects are materialized only for the flagged rows.
+Scalar reference implementations live in :mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.lumscan.records import Sample, ScanDataset
 
@@ -32,17 +40,19 @@ def representative_lengths(dataset: ScanDataset,
     returns a block page has that page as its representative, which is
     why recall is imperfect (Table 2).
     """
-    allowed = set(reference_countries) if reference_countries is not None else None
-    reps: Dict[str, int] = {}
-    for sample in dataset:
-        if not sample.ok:
-            continue
-        if allowed is not None and sample.country not in allowed:
-            continue
-        current = reps.get(sample.domain, -1)
-        if sample.length > current:
-            reps[sample.domain] = sample.length
-    return reps
+    if len(dataset) == 0:
+        return {}
+    mask = dataset.ok_array()
+    if reference_countries is not None:
+        mask = mask & dataset.country_mask(reference_countries)
+    codes = dataset.domain_code_array()[mask]
+    if codes.size == 0:
+        return {}
+    names = dataset.domains()
+    reps = np.full(len(names), -1, dtype=np.int64)
+    np.maximum.at(reps, codes, dataset.length_array()[mask])
+    return {names[code]: int(reps[code])
+            for code in np.flatnonzero(reps >= 0).tolist()}
 
 
 @dataclass(frozen=True)
@@ -55,40 +65,54 @@ class Outlier:
     relative_difference: float   # (rep - len) / rep, in [0, 1]
 
 
-def extract_outliers(dataset: ScanDataset, representatives: Dict[str, int],
+def _representative_rows(dataset: ScanDataset,
+                         representatives: Mapping[str, int]) -> np.ndarray:
+    """Per-row representative length (0 where unknown or non-positive)."""
+    reps = np.zeros(len(dataset.domains()), dtype=np.int64)
+    for domain, rep in representatives.items():
+        code = dataset.domain_code(domain)
+        if code is not None and rep > 0:
+            reps[code] = rep
+    return reps[dataset.domain_code_array()]
+
+
+def extract_outliers(dataset: ScanDataset,
+                     representatives: Mapping[str, int],
                      cutoff: float = DEFAULT_CUTOFF,
-                     raw_cutoff: Optional[int] = None) -> List[Outlier]:
+                     raw_cutoff: Optional[int] = None,
+                     countries: Optional[Sequence[str]] = None
+                     ) -> List[Outlier]:
     """Samples shorter than the representative by more than the cutoff.
 
     ``cutoff`` is the fractional threshold (0.30 = "30% shorter").  When
     ``raw_cutoff`` is given instead, an absolute byte difference is used
-    (the ablation mode the paper found ineffective).
+    (the ablation mode the paper found ineffective).  ``countries``
+    optionally restricts extraction to samples from those countries (the
+    pipeline's reference-country filter, applied inside the mask).
     """
     if not 0.0 < cutoff < 1.0:
         raise ValueError("cutoff must be in (0, 1)")
-    outliers: List[Outlier] = []
-    for index in range(len(dataset)):
-        sample = dataset.row(index)
-        if not sample.ok:
-            continue
-        rep = representatives.get(sample.domain)
-        if rep is None or rep <= 0:
-            continue
-        difference = rep - sample.length
-        relative = difference / rep
-        if raw_cutoff is not None:
-            flagged = difference > raw_cutoff
-        else:
-            flagged = relative > cutoff
-        if flagged:
-            outliers.append(Outlier(index=index, sample=sample,
-                                    representative=rep,
-                                    relative_difference=relative))
-    return outliers
+    if len(dataset) == 0:
+        return []
+    rep_rows = _representative_rows(dataset, representatives)
+    valid = dataset.ok_array() & (rep_rows > 0)
+    if countries is not None:
+        valid &= dataset.country_mask(countries)
+    difference = rep_rows - dataset.length_array()
+    relative = np.zeros(len(dataset), dtype=np.float64)
+    np.divide(difference, rep_rows, out=relative, where=rep_rows > 0)
+    if raw_cutoff is not None:
+        flagged = valid & (difference > raw_cutoff)
+    else:
+        flagged = valid & (relative > cutoff)
+    return [Outlier(index=index, sample=dataset.row(index),
+                    representative=int(rep_rows[index]),
+                    relative_difference=float(relative[index]))
+            for index in np.flatnonzero(flagged).tolist()]
 
 
 def relative_differences(dataset: ScanDataset,
-                         representatives: Dict[str, int]
+                         representatives: Mapping[str, int]
                          ) -> List[Tuple[float, bool]]:
     """(relative difference, has-body) for every valid sample — Figure 2.
 
@@ -96,12 +120,13 @@ def relative_differences(dataset: ScanDataset,
     which the figure uses to split 'blocked' from ordinary samples once
     fingerprints have been applied by the caller.
     """
-    out: List[Tuple[float, bool]] = []
-    for sample in dataset:
-        if not sample.ok:
-            continue
-        rep = representatives.get(sample.domain)
-        if rep is None or rep <= 0:
-            continue
-        out.append(((rep - sample.length) / rep, sample.body is not None))
-    return out
+    if len(dataset) == 0:
+        return []
+    rep_rows = _representative_rows(dataset, representatives)
+    valid = dataset.ok_array() & (rep_rows > 0)
+    relative = np.zeros(len(dataset), dtype=np.float64)
+    np.divide(rep_rows - dataset.length_array(), rep_rows,
+              out=relative, where=rep_rows > 0)
+    has_body = dataset.has_body_array()
+    return [(float(relative[index]), bool(has_body[index]))
+            for index in np.flatnonzero(valid).tolist()]

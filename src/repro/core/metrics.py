@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.classify import classify_sample
 from repro.core.fingerprints import FingerprintRegistry, PAGE_DISPLAY_NAMES
 from repro.core.lengths import extract_outliers
@@ -48,21 +50,27 @@ def recall_by_fingerprint(dataset: ScanDataset,
     """Table 2: per page type, how many fingerprinted samples the length
     heuristic would have flagged as outliers."""
     reg = registry or FingerprintRegistry.default()
-    allowed = set(restrict_countries) if restrict_countries is not None else None
 
     outlier_indices: Set[int] = {
         o.index for o in extract_outliers(dataset, dict(representatives),
                                           cutoff=cutoff, raw_cutoff=raw_cutoff)
     }
+    # Candidate rows (HTTP response + retained body, optionally country
+    # restricted) come from one mask expression; each distinct body text
+    # hits the fingerprint matcher once.
+    mask = dataset.ok_array() & dataset.has_body_array()
+    if restrict_countries is not None:
+        mask &= dataset.country_mask(restrict_countries)
+    match_memo: Dict[str, Optional[str]] = {}
     recalled: Dict[str, int] = {}
     actual: Dict[str, int] = {}
-    for index in range(len(dataset)):
-        sample = dataset.row(index)
-        if not sample.ok or sample.body is None:
-            continue
-        if allowed is not None and sample.country not in allowed:
-            continue
-        page_type = reg.match(sample.body)
+    for index in np.flatnonzero(mask).tolist():
+        body = dataset.body(index)
+        if body in match_memo:
+            page_type = match_memo[body]
+        else:
+            page_type = reg.match(body)
+            match_memo[body] = page_type
         if page_type is None:
             continue
         actual[page_type] = actual.get(page_type, 0) + 1

@@ -13,6 +13,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 logger = logging.getLogger("repro.pipeline")
 
 from repro.core.classify import (
@@ -186,12 +188,13 @@ def run_top10k_study(world: World,
     error_by_domain = initial.error_rate_by_domain()
     never = sorted(d for d, rate in error_by_domain.items() if rate >= 1.0)
 
-    # Length-outlier extraction among the top blocking countries.
+    # Length-outlier extraction among the top blocking countries.  The
+    # reference-country restriction is folded into the vectorized mask
+    # instead of filtering materialized samples afterwards.
     representatives = representative_lengths(initial, reference_countries)
-    reference_set = set(reference_countries)
-    outliers = [o for o in extract_outliers(initial, representatives,
-                                            cutoff=cfg.length_cutoff)
-                if o.sample.country in reference_set]
+    outliers = extract_outliers(initial, representatives,
+                                cutoff=cfg.length_cutoff,
+                                countries=reference_countries)
 
     # Cluster candidate bodies and extract signatures.
     bodies = [o.sample.body for o in outliers if o.sample.body is not None]
@@ -236,23 +239,39 @@ def run_top10k_study(world: World,
 
 
 def _background_bodies(dataset: ScanDataset, limit: int = 200) -> List[str]:
-    """Ordinary-page bodies used as background for signature extraction."""
-    bodies: List[str] = []
-    for sample in dataset:
-        if sample.status == 200 and sample.body is not None:
-            bodies.append(sample.body)
-            if len(bodies) >= limit:
-                break
-    return bodies
+    """Ordinary-page bodies used as background for signature extraction.
+
+    Candidate rows (200-status with a retained body) are selected with
+    one mask expression; only the first ``limit`` bodies are fetched.
+    """
+    candidates = np.flatnonzero((dataset.status_array() == 200)
+                                & dataset.has_body_array())
+    return [dataset.body(index) for index in candidates[:limit].tolist()]
+
+
+def _classified_body_rows(dataset: ScanDataset, registry: FingerprintRegistry):
+    """(row index, verdict) for every row with a retained body.
+
+    Failed / body-less rows classify to error/ok — no page type — so the
+    candidate rows are one mask expression over the columns, and each
+    distinct body text hits the fingerprint matcher once.
+    """
+    memo: Dict[str, object] = {}
+    candidates = np.flatnonzero(dataset.ok_array() & dataset.has_body_array())
+    for index in candidates.tolist():
+        body = dataset.body(index)
+        verdict = memo.get(body)
+        if verdict is None:
+            verdict = classify_body(body, registry)
+            memo[body] = verdict
+        yield index, verdict
 
 
 def _count_non_explicit_pages(dataset: ScanDataset,
                               registry: FingerprintRegistry) -> Counter:
     """Counts of captchas/challenges/ambiguous pages (§4.2.2's 200,417)."""
     counts: Counter = Counter()
-    # Batch classification: failed / body-less samples classify to
-    # error/ok, which the kind filter drops — no pre-filtering needed.
-    for verdict in classify_samples(dataset, registry):
+    for _, verdict in _classified_body_rows(dataset, registry):
         if verdict.kind in (VERDICT_CHALLENGE, VERDICT_AMBIGUOUS):
             counts[verdict.page_type] += 1
     return counts
@@ -354,9 +373,11 @@ def run_top1m_study(world: World,
     # anywhere is resampled 20x in *every* country (§5.1.2).
     flagged: Dict[str, List[str]] = {p: [] for p in _NONEXPLICIT_PROVIDERS}
     flagged_domains: Set[str] = set()
-    for index, verdict in enumerate(classify_samples(initial, reg)):
+    domain_names = initial.domains()
+    domain_codes = initial.domain_code_array()
+    for index, verdict in _classified_body_rows(initial, reg):
         if verdict.kind == VERDICT_AMBIGUOUS and verdict.provider in flagged:
-            domain = initial.row(index).domain
+            domain = domain_names[domain_codes[index]]
             if domain not in flagged_domains:
                 flagged[verdict.provider].append(domain)
                 flagged_domains.add(domain)

@@ -13,9 +13,14 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.classify import VERDICT_EXPLICIT, Verdict, classify_samples
+from repro.core.classify import (
+    VERDICT_EXPLICIT,
+    Verdict,
+    classify_body,
+    classify_samples,
+)
 from repro.core.fingerprints import FingerprintRegistry, PAGE_PROVIDER
-from repro.lumscan.records import Sample, ScanDataset
+from repro.lumscan.records import NO_RESPONSE, Sample, ScanDataset
 
 DEFAULT_AGREEMENT_THRESHOLD = 0.80
 CONFIRM_SAMPLES = 20
@@ -33,6 +38,31 @@ class ConfirmedBlock:
     total_samples: int
 
 
+def _run_verdicts(dataset: ScanDataset, start: int, stop: int,
+                  registry: FingerprintRegistry,
+                  memo: Dict[str, Verdict]):
+    """Verdicts with a page type within one run, straight off the columns.
+
+    Failed probes classify to ``error`` and body-less rows to ``ok`` —
+    both carry no page type, so the consumers below never see them.
+    Bodies are classified once per distinct text via ``memo``; no
+    :class:`Sample` objects are materialized.
+    """
+    statuses = dataset.status_array()
+    for index in range(start, stop):
+        if statuses[index] == NO_RESPONSE:
+            continue
+        body = dataset.body(index)
+        if body is None:
+            continue
+        verdict = memo.get(body)
+        if verdict is None:
+            verdict = classify_body(body, registry)
+            memo[body] = verdict
+        if verdict.page_type is not None:
+            yield verdict
+
+
 def find_candidate_pairs(dataset: ScanDataset,
                          registry: Optional[FingerprintRegistry] = None,
                          explicit_only: bool = True
@@ -46,10 +76,8 @@ def find_candidate_pairs(dataset: ScanDataset,
     reg = registry or FingerprintRegistry.default()
     candidates: Dict[Tuple[str, str], str] = {}
     memo: Dict[str, Verdict] = {}
-    for domain, country, samples in dataset.pairs():
-        for verdict in classify_samples(samples, reg, cache=memo):
-            if verdict.page_type is None:
-                continue
+    for domain, country, start, stop in dataset.iter_runs():
+        for verdict in _run_verdicts(dataset, start, stop, reg, memo):
             if explicit_only and verdict.kind != VERDICT_EXPLICIT:
                 continue
             if verdict.is_blockpage or not explicit_only:
@@ -66,14 +94,11 @@ def block_rates(dataset: ScanDataset,
     reg = registry or FingerprintRegistry.default()
     rates: Dict[Tuple[str, str], Tuple[int, int, Optional[str]]] = {}
     memo: Dict[str, Verdict] = {}
-    for domain, country, samples in dataset.pairs():
+    for domain, country, start, stop in dataset.iter_runs():
         hits = 0
-        total = 0
+        total = stop - start
         page_type: Optional[str] = None
-        for verdict in classify_samples(samples, reg, cache=memo):
-            total += 1
-            if verdict.page_type is None:
-                continue
+        for verdict in _run_verdicts(dataset, start, stop, reg, memo):
             is_hit = (verdict.kind == VERDICT_EXPLICIT if explicit_only
                       else verdict.is_blockpage)
             if is_hit:

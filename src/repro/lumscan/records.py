@@ -1,26 +1,38 @@
-"""Compact storage for scan results.
+"""Compact columnar storage for scan results.
 
 A full Top-10K study is 8,003 domains × 177 countries × 3 samples ≈ 4.2M
-records, so :class:`ScanDataset` is column-oriented: parallel arrays plus a
-sparse body store.  Bodies are retained only when they can possibly matter
-to the pipeline — non-200 responses and short pages (every CDN block page,
-captcha, and challenge is well under the threshold); multi-hundred-KB
-origin pages keep only their length, which is all the outlier heuristic
-needs.
+records, so :class:`ScanDataset` is a genuine column store: domain and
+country are integer-coded categoricals (a code table of unique strings
+plus an int32 index array per column), status and length live in numpy
+arrays, and bodies sit in a sparse side table.  Bodies are retained only
+when they can possibly matter to the pipeline — non-200 responses and
+short pages (every CDN block page, captcha, and challenge is well under
+the threshold); multi-hundred-KB origin pages keep only their length,
+which is all the outlier heuristic needs.
+
+The aggregation kernels (``count_status``, ``error_rate_by_domain``,
+``response_rate_by_country``, ``lengths_by_domain``) are vectorized over
+the code arrays — bincount-style grouping instead of per-row Python
+loops — and the column accessors (:meth:`status_array`, ...) let the
+analysis layer (``repro.core.lengths`` and friends) run at numpy speed
+too.  Scalar reference implementations of every kernel are retained in
+:mod:`repro.core.reference` for equivalence testing.
 """
 
 from __future__ import annotations
 
-import sys
-from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
 
 #: Bodies at or below this length are always retained.
 BODY_KEEP_THRESHOLD = 6_000
 
 #: Sentinel status for failed probes (no HTTP response).
 NO_RESPONSE = 0
+
+_INITIAL_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -46,126 +58,290 @@ class ScanDataset:
 
     Records are stored in append order.  The scanners append samples for a
     (country, domain) pair contiguously, and `pairs()` exploits that to
-    iterate without building a giant index.
+    iterate without building a giant index.  Run boundaries are detected
+    by *code equality*, never object identity, so datasets survive any
+    round trip (JSON, merge, inter-process) without fragmenting runs.
     """
 
     def __init__(self) -> None:
-        self._domains: List[str] = []
-        self._countries: List[str] = []
-        self._statuses = array("h")
-        self._lengths = array("l")
+        # Categorical code tables: string -> code, and code -> string.
+        self._domain_code: Dict[str, int] = {}
+        self._domain_names: List[str] = []
+        self._country_code: Dict[str, int] = {}
+        self._country_names: List[str] = []
+        # Row columns (growable numpy buffers; valid rows are [:_n]).
+        self._n = 0
+        self._dcodes = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._ccodes = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._statuses = np.empty(_INITIAL_CAPACITY, dtype=np.int16)
+        self._lengths = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        # Sparse side tables.
         self._errors: List[Optional[str]] = []
         self._bodies: Dict[int, str] = {}
-        self._interfered: set = set()
+        self._interfered: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+
+    def _reserve(self, capacity: int) -> None:
+        current = self._dcodes.shape[0]
+        if capacity <= current:
+            return
+        new = max(capacity, current * 2)
+        for name in ("_dcodes", "_ccodes", "_statuses", "_lengths"):
+            old = getattr(self, name)
+            grown = np.empty(new, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    @staticmethod
+    def _intern(code_of: Dict[str, int], names: List[str], value: str) -> int:
+        code = code_of.get(value)
+        if code is None:
+            code = len(names)
+            code_of[value] = code
+            names.append(value)
+        return code
 
     def append(self, domain: str, country: str, status: int, length: int,
                body: Optional[str], error: Optional[str] = None,
                interfered: bool = False) -> None:
         """Append one record (bodies above the threshold are dropped)."""
-        index = len(self._domains)
-        self._domains.append(sys.intern(domain))
-        self._countries.append(sys.intern(country))
-        self._statuses.append(status)
-        self._lengths.append(length)
+        index = self._n
+        self._reserve(index + 1)
+        self._dcodes[index] = self._intern(self._domain_code,
+                                           self._domain_names, domain)
+        self._ccodes[index] = self._intern(self._country_code,
+                                           self._country_names, country)
+        self._statuses[index] = status
+        self._lengths[index] = length
         self._errors.append(error)
         if body is not None and (status != 200 or length <= BODY_KEEP_THRESHOLD):
             self._bodies[index] = body
         if interfered:
             self._interfered.add(index)
+        self._n = index + 1
+
+    def extend(self, other: "ScanDataset") -> None:
+        """Append all records of ``other``, reconciling the code tables.
+
+        The other dataset's categorical codes are remapped through this
+        dataset's tables (one dict lookup per *unique* label), then the
+        row columns are copied in bulk — no per-row Python work.
+        """
+        m = len(other)
+        if m == 0:
+            return
+        offset = self._n
+        dmap = np.fromiter(
+            (self._intern(self._domain_code, self._domain_names, name)
+             for name in other._domain_names),
+            dtype=np.int32, count=len(other._domain_names))
+        cmap = np.fromiter(
+            (self._intern(self._country_code, self._country_names, name)
+             for name in other._country_names),
+            dtype=np.int32, count=len(other._country_names))
+        self._reserve(offset + m)
+        self._dcodes[offset:offset + m] = dmap[other._dcodes[:m]]
+        self._ccodes[offset:offset + m] = cmap[other._ccodes[:m]]
+        self._statuses[offset:offset + m] = other._statuses[:m]
+        self._lengths[offset:offset + m] = other._lengths[:m]
+        self._errors.extend(other._errors)
+        for idx, body in other._bodies.items():
+            self._bodies[offset + idx] = body
+        if other._interfered:
+            self._interfered.update(offset + idx for idx in other._interfered)
+        self._n = offset + m
+
+    # ------------------------------------------------------------------ #
+    # Row access
 
     def __len__(self) -> int:
-        return len(self._domains)
+        return self._n
 
     def row(self, index: int) -> Sample:
         """Materialize the record at ``index``."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"row index {index} out of range")
         return Sample(
-            domain=self._domains[index],
-            country=self._countries[index],
-            status=self._statuses[index],
-            length=self._lengths[index],
+            domain=self._domain_names[self._dcodes[index]],
+            country=self._country_names[self._ccodes[index]],
+            status=int(self._statuses[index]),
+            length=int(self._lengths[index]),
             body=self._bodies.get(index),
             error=self._errors[index],
             interfered=index in self._interfered,
         )
 
     def __iter__(self) -> Iterator[Sample]:
-        for index in range(len(self)):
+        for index in range(self._n):
             yield self.row(index)
+
+    def body(self, index: int) -> Optional[str]:
+        """The retained body at ``index`` (None when dropped or absent)."""
+        return self._bodies.get(index)
+
+    def error(self, index: int) -> Optional[str]:
+        """The error kind at ``index`` (None for HTTP responses)."""
+        return self._errors[index]
+
+    # ------------------------------------------------------------------ #
+    # Columnar views (read-only; shared with the analysis kernels)
+
+    def _view(self, buffer: np.ndarray) -> np.ndarray:
+        view = buffer[: self._n]
+        view.flags.writeable = False
+        return view
+
+    def status_array(self) -> np.ndarray:
+        """Status per row (int16 view; NO_RESPONSE for failures)."""
+        return self._view(self._statuses)
+
+    def length_array(self) -> np.ndarray:
+        """Body length per row (int64 view)."""
+        return self._view(self._lengths)
+
+    def domain_code_array(self) -> np.ndarray:
+        """Domain code per row (int32 view into :meth:`domains`)."""
+        return self._view(self._dcodes)
+
+    def country_code_array(self) -> np.ndarray:
+        """Country code per row (int32 view into :meth:`countries`)."""
+        return self._view(self._ccodes)
+
+    def domain_code(self, domain: str) -> Optional[int]:
+        """Categorical code of ``domain`` (None when never seen)."""
+        return self._domain_code.get(domain)
+
+    def country_code(self, country: str) -> Optional[int]:
+        """Categorical code of ``country`` (None when never seen)."""
+        return self._country_code.get(country)
+
+    def ok_array(self) -> np.ndarray:
+        """Boolean mask of rows with an HTTP response."""
+        return self.status_array() != NO_RESPONSE
+
+    def has_body_array(self) -> np.ndarray:
+        """Boolean mask of rows whose body was retained."""
+        mask = np.zeros(self._n, dtype=bool)
+        if self._bodies:
+            mask[np.fromiter(self._bodies.keys(), dtype=np.int64,
+                             count=len(self._bodies))] = True
+        return mask
+
+    def country_mask(self, countries) -> np.ndarray:
+        """Boolean mask of rows whose country is in ``countries``."""
+        allowed = np.zeros(len(self._country_names), dtype=bool)
+        for country in countries:
+            code = self._country_code.get(country)
+            if code is not None:
+                allowed[code] = True
+        return allowed[self.country_code_array()] if self._n else \
+            np.zeros(0, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Iteration over contiguous (domain, country) runs
+
+    def iter_runs(self) -> Iterator[Tuple[str, str, int, int]]:
+        """Yield (domain, country, start, stop) over contiguous runs.
+
+        Run boundaries come from a single vectorized comparison of the
+        code columns; consumers that only need counts or selective row
+        access use this to skip Sample materialization entirely.
+        """
+        n = self._n
+        if n == 0:
+            return
+        dcodes = self._dcodes[:n]
+        ccodes = self._ccodes[:n]
+        breaks = np.flatnonzero((dcodes[1:] != dcodes[:-1])
+                                | (ccodes[1:] != ccodes[:-1])) + 1
+        starts = np.concatenate(([0], breaks))
+        stops = np.concatenate((breaks, [n]))
+        domain_names = self._domain_names
+        country_names = self._country_names
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            yield (domain_names[dcodes[start]], country_names[ccodes[start]],
+                   start, stop)
 
     def pairs(self) -> Iterator[Tuple[str, str, List[Sample]]]:
         """Iterate (domain, country, samples) over contiguous runs."""
-        n = len(self)
-        start = 0
-        while start < n:
-            end = start
-            domain = self._domains[start]
-            country = self._countries[start]
-            while (end < n and self._domains[end] is domain
-                   and self._countries[end] is country):
-                end += 1
-            yield domain, country, [self.row(i) for i in range(start, end)]
-            start = end
+        for domain, country, start, stop in self.iter_runs():
+            yield domain, country, [self.row(i) for i in range(start, stop)]
 
-    def lengths_by_domain(self) -> Dict[str, List[int]]:
-        """Map domain -> all observed 200-response body lengths."""
-        out: Dict[str, List[int]] = {}
-        for i in range(len(self)):
-            if self._statuses[i] == 200:
-                out.setdefault(self._domains[i], []).append(self._lengths[i])
-        return out
+    # ------------------------------------------------------------------ #
+    # Vectorized aggregation kernels
 
     def domains(self) -> List[str]:
-        """Unique domains in first-seen order."""
-        seen: Dict[str, None] = {}
-        for d in self._domains:
-            if d not in seen:
-                seen[d] = None
-        return list(seen)
+        """Unique domains in first-seen order (the code table)."""
+        return list(self._domain_names)
 
     def countries(self) -> List[str]:
-        """Unique countries in first-seen order."""
-        seen: Dict[str, None] = {}
-        for c in self._countries:
-            if c not in seen:
-                seen[c] = None
-        return list(seen)
-
-    def extend(self, other: "ScanDataset") -> None:
-        """Append all records of ``other`` to this dataset."""
-        offset = len(self)
-        self._domains.extend(other._domains)
-        self._countries.extend(other._countries)
-        self._statuses.extend(other._statuses)
-        self._lengths.extend(other._lengths)
-        self._errors.extend(other._errors)
-        for idx, body in other._bodies.items():
-            self._bodies[offset + idx] = body
-        for idx in other._interfered:
-            self._interfered.add(offset + idx)
+        """Unique countries in first-seen order (the code table)."""
+        return list(self._country_names)
 
     def count_status(self, status: int) -> int:
         """Number of records with the given HTTP status."""
-        return sum(1 for s in self._statuses if s == status)
+        return int(np.count_nonzero(self._statuses[: self._n] == status))
 
     def error_rate_by_domain(self) -> Dict[str, float]:
-        """Fraction of failed probes per domain."""
-        totals: Dict[str, int] = {}
-        fails: Dict[str, int] = {}
-        for i in range(len(self)):
-            d = self._domains[i]
-            totals[d] = totals.get(d, 0) + 1
-            if self._statuses[i] == NO_RESPONSE:
-                fails[d] = fails.get(d, 0) + 1
-        return {d: fails.get(d, 0) / totals[d] for d in totals}
+        """Fraction of failed probes per domain (bincount grouping)."""
+        n = self._n
+        if n == 0:
+            return {}
+        dcodes = self._dcodes[:n]
+        n_domains = len(self._domain_names)
+        totals = np.bincount(dcodes, minlength=n_domains)
+        fails = np.bincount(dcodes[self._statuses[:n] == NO_RESPONSE],
+                            minlength=n_domains)
+        names = self._domain_names
+        return {names[code]: float(fails[code]) / float(totals[code])
+                for code in range(n_domains) if totals[code]}
 
     def response_rate_by_country(self) -> Dict[str, float]:
-        """Per country: fraction of domains with >= 1 valid response."""
-        responded: Dict[str, set] = {}
-        tested: Dict[str, set] = {}
-        for i in range(len(self)):
-            c = self._countries[i]
-            tested.setdefault(c, set()).add(self._domains[i])
-            if self._statuses[i] != NO_RESPONSE:
-                responded.setdefault(c, set()).add(self._domains[i])
-        return {c: len(responded.get(c, ())) / len(doms)
-                for c, doms in tested.items()}
+        """Per country: fraction of domains with >= 1 valid response.
+
+        Distinct (country, domain) combinations are found with one
+        ``np.unique`` over a fused 64-bit key instead of per-row set
+        insertion.
+        """
+        n = self._n
+        if n == 0:
+            return {}
+        n_domains = len(self._domain_names)
+        n_countries = len(self._country_names)
+        keys = self._ccodes[:n].astype(np.int64) * n_domains \
+            + self._dcodes[:n]
+        tested = np.unique(keys)
+        responded = np.unique(keys[self._statuses[:n] != NO_RESPONSE])
+        tested_counts = np.bincount(tested // n_domains,
+                                    minlength=n_countries)
+        responded_counts = np.bincount(responded // n_domains,
+                                       minlength=n_countries)
+        names = self._country_names
+        return {names[code]:
+                float(responded_counts[code]) / float(tested_counts[code])
+                for code in range(n_countries) if tested_counts[code]}
+
+    def lengths_by_domain(self) -> Dict[str, List[int]]:
+        """Map domain -> all observed 200-response body lengths.
+
+        Grouping is a stable argsort over the domain codes of the
+        200-status rows, so each domain's lengths keep append order.
+        """
+        n = self._n
+        if n == 0:
+            return {}
+        hit = np.flatnonzero(self._statuses[:n] == 200)
+        if hit.size == 0:
+            return {}
+        codes = self._dcodes[hit]
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_lengths = self._lengths[hit][order]
+        boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        groups = np.split(sorted_lengths, boundaries)
+        names = self._domain_names
+        return {names[sorted_codes[start]]: group.tolist()
+                for start, group in zip(starts.tolist(), groups)}

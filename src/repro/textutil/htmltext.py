@@ -30,3 +30,25 @@ def extract_text(document: str) -> str:
     text = _TAG_RE.sub(" ", text)
     text = html.unescape(text)
     return normalize_whitespace(text)
+
+
+#: Shared memo for :func:`extract_text_cached`.  Block pages are
+#: template-generated, so scans see the same body text thousands of
+#: times; the cap bounds memory on adversarial inputs.
+_TEXT_CACHE: dict = {}
+_TEXT_CACHE_MAX = 8192
+
+
+def extract_text_cached(document: str) -> str:
+    """Memoized :func:`extract_text` for duplicate-heavy corpora.
+
+    Candidate block pages and background bodies repeat across clusters
+    and pipeline stages; each distinct document is parsed once.
+    """
+    text = _TEXT_CACHE.get(document)
+    if text is None:
+        if len(_TEXT_CACHE) >= _TEXT_CACHE_MAX:
+            _TEXT_CACHE.clear()
+        text = extract_text(document)
+        _TEXT_CACHE[document] = text
+    return text

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.textutil.htmltext import extract_text
+from repro.textutil.htmltext import extract_text_cached
 from repro.textutil.ngrams import ngram_counts
 
 
@@ -37,10 +37,19 @@ class TfidfVectorizer:
         self.html_input = html_input
         self.vocabulary_: Dict[str, int] = {}
         self.idf_: Optional[np.ndarray] = None
+        # Per-body memo: block pages are template-generated, so the same
+        # body text recurs across fit/transform calls; text extraction
+        # and n-gram counting run once per distinct document.
+        self._counts_memo: Dict[str, Dict[str, int]] = {}
 
     def _counts(self, document: str):
-        text = extract_text(document) if self.html_input else document
-        return ngram_counts(text, self.ngram_range)
+        counts = self._counts_memo.get(document)
+        if counts is None:
+            text = (extract_text_cached(document) if self.html_input
+                    else document)
+            counts = ngram_counts(text, self.ngram_range)
+            self._counts_memo[document] = counts
+        return counts
 
     def fit_transform(self, documents: Sequence[str]) -> sparse.csr_matrix:
         """Learn the vocabulary and return the TF-IDF matrix (docs × terms)."""

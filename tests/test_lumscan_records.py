@@ -102,3 +102,29 @@ class TestAggregates:
         assert sample.domain == "c.com"
         assert sample.body == "<html>x</html>"
         assert sample.interfered
+
+    def test_extend_reconciles_code_tables(self):
+        """Merging datasets whose labels were interned in different
+        orders must remap codes, not copy them."""
+        a = ScanDataset()
+        a.append("a.com", "US", 200, 10, None)
+        a.append("b.com", "IR", 200, 20, None)
+        b = ScanDataset()
+        b.append("b.com", "IR", 403, 30, None)     # codes 0/0 in b...
+        b.append("c.com", "US", 200, 40, None)     # ...1/1 in b
+        a.extend(b)
+        assert [(s.domain, s.country, s.length) for s in a] == [
+            ("a.com", "US", 10), ("b.com", "IR", 20),
+            ("b.com", "IR", 30), ("c.com", "US", 40)]
+        assert a.domains() == ["a.com", "b.com", "c.com"]
+        assert a.countries() == ["US", "IR"]
+
+    def test_pairs_with_non_interned_strings(self):
+        """Equal-but-distinct string objects belong to the same run
+        (regression: ``is``-based run detection split them)."""
+        data = ScanDataset()
+        for i in range(4):
+            data.append("x.example"[:9] + ".com", "".join(["U", "S"]),
+                        200, 100 + i, None)
+        runs = [(d, c, len(s)) for d, c, s in data.pairs()]
+        assert runs == [("x.example.com", "US", 4)]

@@ -34,6 +34,22 @@ class TestRoundtrip:
         assert ([(d, c) for d, c, _ in loaded.pairs()]
                 == [(d, c) for d, c, _ in original.pairs()])
 
+    def test_roundtrip_run_structure(self, tmp_path):
+        """Runs survive the round trip even though JSON-decoded strings
+        are fresh objects (regression: run detection once compared
+        domain/country with ``is``, which only worked for interned
+        literals and shattered loaded datasets into length-1 runs)."""
+        original = ScanDataset()
+        for _ in range(3):
+            original.append("run.example", "US", 200, 100, None)
+        for _ in range(2):
+            original.append("run.example", "IR", 403, 50, "blocked")
+        path = tmp_path / "scan.jsonl"
+        dump_dataset(original, path)
+        loaded = load_dataset(path)
+        runs = [(d, c, len(s)) for d, c, s in loaded.pairs()]
+        assert runs == [("run.example", "US", 3), ("run.example", "IR", 2)]
+
     def test_empty_dataset(self, tmp_path):
         path = tmp_path / "empty.jsonl"
         assert dump_dataset(ScanDataset(), path) == 0
