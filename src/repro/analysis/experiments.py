@@ -87,6 +87,12 @@ class ExperimentReport:
     tables: Dict[str, tabs.TableData] = field(default_factory=dict)
     figures: Dict[str, figs.FigureData] = field(default_factory=dict)
     findings: Dict[str, object] = field(default_factory=dict)
+    #: Per-study stage instrumentation (wall time, probes, checkpoint
+    #: hits), keyed by study name.  Diagnostics only — deliberately kept
+    #: out of :meth:`to_text`/:meth:`to_markdown` so rendered reports stay
+    #: byte-identical across fresh and resumed runs.
+    stage_stats: Dict[str, List[Dict[str, object]]] = field(
+        default_factory=dict)
 
     def to_text(self) -> str:
         """Render everything as plain text."""
@@ -131,9 +137,13 @@ class ExperimentSuite:
     """Runs the complete reproduction over one world."""
 
     def __init__(self, world: World,
-                 study_config: Optional[StudyConfig] = None) -> None:
+                 study_config: Optional[StudyConfig] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False) -> None:
         self.world = world
         self.config = study_config or StudyConfig(seed=world.config.seed)
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self.luminati = LuminatiClient(world)
         self.fortiguard = FortiGuardClient(world.population, world.taxonomy,
                                            seed=world.config.seed)
@@ -152,8 +162,12 @@ class ExperimentSuite:
         world = self.world
 
         logger.info("suite: starting Top-10K study")
-        self.top10k = run_top10k_study(world, self.luminati, self.config)
+        self.top10k = run_top10k_study(world, self.luminati, self.config,
+                                       checkpoint_dir=self.checkpoint_dir,
+                                       resume=self.resume)
         result = self.top10k
+        report.stage_stats["top10k"] = [s.as_dict()
+                                        for s in result.stage_stats]
         top10k_size = min(10_000, len(world.population))
 
         report.tables["table1"] = tabs.table1(result, top10k_size)
@@ -195,7 +209,11 @@ class ExperimentSuite:
         if include_top1m:
             logger.info("suite: starting Top-1M study")
             self.top1m = run_top1m_study(world, self.luminati, self.config,
-                                         registry=result.registry)
+                                         registry=result.registry,
+                                         checkpoint_dir=self.checkpoint_dir,
+                                         resume=self.resume)
+            report.stage_stats["top1m"] = [s.as_dict()
+                                           for s in self.top1m.stage_stats]
             report.tables["table7"] = tabs.table7(self.top1m)
             report.tables["table8"] = tabs.table8(self.top1m, self.fortiguard)
             self._top1m_findings(report, self.top1m)

@@ -41,9 +41,23 @@ def save_report(report: ExperimentReport, path: Union[str, os.PathLike]) -> None
             for key, figure in report.figures.items()
         },
         "findings": dict(report.findings),
+        "stage_stats": {study: [dict(entry) for entry in entries]
+                        for study, entries in report.stage_stats.items()},
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
+    # Write-to-temp + rename: a crash mid-dump can never truncate an
+    # existing report, and readers only ever see complete files.
+    target = os.fspath(path)
+    tmp = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_report(path: Union[str, os.PathLike]) -> ExperimentReport:
@@ -67,4 +81,5 @@ def load_report(path: Union[str, os.PathLike]) -> ExperimentReport:
             figure.add_series(name, [tuple(p) for p in points])
         report.figures[key] = figure
     report.findings.update(payload.get("findings", {}))
+    report.stage_stats.update(payload.get("stage_stats", {}))
     return report

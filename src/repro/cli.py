@@ -38,7 +38,8 @@ def _world(scale: str, seed: int) -> World:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     world = _world(args.scale, args.seed)
-    suite = ExperimentSuite(world)
+    suite = ExperimentSuite(world, checkpoint_dir=args.checkpoint_dir,
+                            resume=args.resume)
     started = time.time()
     report = suite.run(include_top1m=not args.no_top1m,
                        include_vps=not args.no_vps,
@@ -195,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-top1m", action="store_true")
     run.add_argument("--no-vps", action="store_true")
     run.add_argument("--no-ooni", action="store_true")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="persist per-stage study artifacts here")
+    run.add_argument("--resume", action="store_true",
+                     help="skip stages with complete checkpoints "
+                          "(requires --checkpoint-dir)")
     run.set_defaults(func=_cmd_run)
 
     top10k = sub.add_parser("top10k", help="run only the Top-10K study")

@@ -28,6 +28,7 @@ from repro.httpsim.useragent import browser_headers
 from repro.netsim.dns import DNSServer, expand_spf_netblocks
 from repro.netsim.errors import FetchError
 from repro.proxynet.transport import fetch_with_redirects
+from repro.util.rng import derive_rng
 
 AKAMAI_PRAGMA = "akamai-x-cache-on, akamai-x-get-cache-key, akamai-x-check-cacheable"
 
@@ -105,6 +106,11 @@ def identify_cdn_customers(world, domains: Sequence[str],
     a control vantage point, inspects every response in the redirect chain
     for provider headers, and checks A records against the discovered
     AppEngine netblocks.
+
+    Every fetch draws from a per-domain derived RNG rather than the
+    world's shared streams, so the outcome is a pure function of the
+    world seed and the domain — checkpoint-resumed runs that skip this
+    step leave the shared streams exactly as a fresh run would.
     """
     ip = control_ip or world.vps_address("US")
     netblocks = [ipaddress.IPv4Network(c)
@@ -116,8 +122,9 @@ def identify_cdn_customers(world, domains: Sequence[str],
     for domain in domains:
         request = Request(url=parse_url(f"http://{domain}/"),
                           headers=headers.copy())
+        rng = derive_rng(world.config.seed, "identify", domain)
         try:
-            result = fetch_with_redirects(world, request, ip)
+            result = fetch_with_redirects(world, request, ip, rng=rng)
             responses = result.all_responses
         except FetchError:
             responses = []

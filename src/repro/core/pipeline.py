@@ -4,10 +4,28 @@ Each study function drives only *measurement-visible* interfaces — DNS,
 HTTP fetches through vantage points, the categorization service, and the
 probe lists.  Ground truth (``world.policies``) is never consulted; the
 evaluation helpers in :mod:`repro.core.metrics` do that separately.
+
+The Top-10K and Top-1M studies are **staged pipelines** built on
+:mod:`repro.run`: each phase is a named :class:`~repro.run.Stage` with
+declared artifacts, so a run given a checkpoint directory persists every
+phase's outputs and a resumed run (``resume=True``) skips completed
+stages, loading their artifacts instead.  Resume is bit-identical to a
+fresh run: probe outcomes are pure functions of task identity (the
+:class:`~repro.lumscan.engine.ScanEngine` determinism contract), and the
+checkpoint codecs round-trip every artifact exactly.
+
+Stage graphs::
+
+    top10k: safe-list -> country-ranking -> initial-scan -> outliers
+            -> discovery -> candidate-resample -> confirm
+    top1m:  customer-id -> sample -> scan -> explicit-confirm
+            -> nonexplicit-confirm
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import logging
 from collections import Counter
 from dataclasses import dataclass, field
@@ -39,11 +57,22 @@ from repro.core.resample import (
 from repro.datasets.alexa import AlexaList
 from repro.datasets.citizenlab import CitizenLabList
 from repro.datasets.fortiguard import FortiGuardClient
+from repro.lumscan.base import Scanner
 from repro.lumscan.engine import ScanEngine
 from repro.lumscan.records import ScanDataset
 from repro.lumscan.scanner import Lumscan, LumscanConfig
 from repro.proxynet.luminati import LuminatiClient
 from repro.proxynet.vps import VPSFleet
+from repro.run import (
+    KIND_DATASET,
+    ArtifactSpec,
+    ArtifactStore,
+    RunContext,
+    Stage,
+    StageStats,
+    StudyRunner,
+)
+from repro.run.codecs import encode_artifact
 from repro.util.rng import derive_rng
 from repro.websim import blockpages
 from repro.websim.world import World
@@ -65,6 +94,30 @@ class StudyConfig:
     sample_fraction_top1m: float = 0.85  # §5.1.2 sampling of safe customers
     seed: int = 0
     workers: int = 1                  # scan-engine pool width (1 = inline)
+
+
+def registry_salt(registry: Optional[FingerprintRegistry]) -> str:
+    """Checkpoint-fingerprint salt for an inherited registry/catalog.
+
+    Studies that accept a fingerprint registry as *input* (the Top-1M run
+    inherits Top-10K's discovered registry; Top-10K can take a custom
+    catalog) fold a digest of it into their stage fingerprints, so
+    checkpoints are never reused across different registries.
+    """
+    if registry is None:
+        return ""
+    canonical = json.dumps(encode_artifact(registry), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _study_store(checkpoint_dir: Optional[str], study: str,
+                 config: StudyConfig, world: World,
+                 salt: str = "") -> Optional[ArtifactStore]:
+    if checkpoint_dir is None:
+        return None
+    return ArtifactStore(checkpoint_dir, study, config, world.config,
+                         salt=salt)
 
 
 # ===================================================================== #
@@ -89,6 +142,7 @@ class Top10KResult:
     other_page_counts: Counter = field(default_factory=Counter)
     luminati_refused_domains: List[str] = field(default_factory=list)
     never_responding_domains: List[str] = field(default_factory=list)
+    stage_stats: List[StageStats] = field(default_factory=list)
 
     @property
     def confirmed_domains(self) -> List[str]:
@@ -125,7 +179,7 @@ def build_safe_list(world: World, domains: Sequence[str],
     return cl.filter_out(fg.filter_safe(domains))
 
 
-def rank_countries_by_blocking(world: World, lumscan: "Lumscan | ScanEngine",
+def rank_countries_by_blocking(world: World, lumscan: Scanner,
                                countries: Sequence[str],
                                config: StudyConfig) -> List[str]:
     """Rank countries by observed Akamai/Cloudflare block pages.
@@ -157,46 +211,66 @@ def rank_countries_by_blocking(world: World, lumscan: "Lumscan | ScanEngine",
     return ranked
 
 
-def run_top10k_study(world: World,
-                     luminati: Optional[LuminatiClient] = None,
-                     config: Optional[StudyConfig] = None,
-                     lumscan_config: Optional[LumscanConfig] = None,
-                     catalog: Optional[FingerprintRegistry] = None) -> Top10KResult:
-    """The full §4 methodology over the synthetic Top 10K."""
-    cfg = config or StudyConfig()
-    lum = luminati or LuminatiClient(world)
-    scanner = Lumscan(lum, config=lumscan_config, seed=cfg.seed)
-    engine = ScanEngine(scanner, workers=cfg.workers)
-    alexa = AlexaList(world.population)
-    countries = lum.countries()
+# --------------------------------------------------------------------- #
+# Top-10K stages
 
-    safe_domains = build_safe_list(world, alexa.top10k())
-    urls = [f"http://{d}/" for d in safe_domains]
+
+def _t10k_safe_list(ctx: RunContext) -> Dict[str, object]:
+    """§3.3: the tested country set and the safety-filtered domain list."""
+    luminati: LuminatiClient = ctx.extras["luminati"]
+    alexa = AlexaList(ctx.world.population)
+    safe_domains = build_safe_list(ctx.world, alexa.top10k())
+    countries = list(luminati.countries())
     logger.info("top10k: %d safe domains, %d countries (%d workers)",
-                len(safe_domains), len(countries), cfg.workers)
+                len(safe_domains), len(countries), ctx.config.workers)
+    return {"countries": countries, "safe_domains": safe_domains}
 
-    # Rank countries first (the exploratory scan the paper ran earlier).
-    top_blocking = rank_countries_by_blocking(world, engine, countries, cfg)
-    reference_countries = top_blocking[: cfg.top_k_countries]
-    logger.info("top10k: country ranking done; top5=%s", top_blocking[:5])
 
-    # Initial snapshot: 3 samples per pair, every country.
-    initial = engine.scan(urls, countries, samples=cfg.samples_initial)
+def _t10k_country_ranking(ctx: RunContext) -> Dict[str, object]:
+    """§4.1.2: the exploratory ranking scan the paper ran earlier."""
+    ranked = rank_countries_by_blocking(ctx.world, ctx.scanner,
+                                        ctx.artifact("countries"), ctx.config)
+    logger.info("top10k: country ranking done; top5=%s", ranked[:5])
+    return {"top_blocking_countries": ranked}
+
+
+def _t10k_initial_scan(ctx: RunContext) -> Dict[str, object]:
+    """§4.1.1: the 3-samples-per-pair snapshot over every country."""
+    cfg: StudyConfig = ctx.config
+    urls = [f"http://{d}/" for d in ctx.artifact("safe_domains")]
+    initial = ctx.scanner.scan(urls, ctx.artifact("countries"),
+                               samples=cfg.samples_initial)
     logger.info("top10k: initial scan complete (%d samples)", len(initial))
-
-    refused = sorted({s.domain for s in initial if s.error == "luminati-refusal"})
+    refused = sorted({s.domain for s in initial
+                      if s.error == "luminati-refusal"})
     error_by_domain = initial.error_rate_by_domain()
     never = sorted(d for d, rate in error_by_domain.items() if rate >= 1.0)
+    return {"initial": initial, "luminati_refused_domains": refused,
+            "never_responding_domains": never}
 
-    # Length-outlier extraction among the top blocking countries.  The
-    # reference-country restriction is folded into the vectorized mask
-    # instead of filtering materialized samples afterwards.
-    representatives = representative_lengths(initial, reference_countries)
+
+def _t10k_outliers(ctx: RunContext) -> Dict[str, object]:
+    """§4.1.2: length-outlier extraction among the top blocking countries.
+
+    The reference-country restriction is folded into the vectorized mask
+    instead of filtering materialized samples afterwards.
+    """
+    cfg: StudyConfig = ctx.config
+    initial: ScanDataset = ctx.artifact("initial")
+    reference = ctx.artifact("top_blocking_countries")[: cfg.top_k_countries]
+    representatives = representative_lengths(initial, reference)
     outliers = extract_outliers(initial, representatives,
                                 cutoff=cfg.length_cutoff,
-                                countries=reference_countries)
+                                countries=reference)
+    return {"representatives": representatives, "outliers": outliers}
 
-    # Cluster candidate bodies and extract signatures.
+
+def _t10k_discovery(ctx: RunContext) -> Dict[str, object]:
+    """§4.1.2–4.1.3: cluster candidate bodies and extract signatures."""
+    cfg: StudyConfig = ctx.config
+    initial: ScanDataset = ctx.artifact("initial")
+    outliers: List[Outlier] = ctx.artifact("outliers")
+    catalog: Optional[FingerprintRegistry] = ctx.extras.get("catalog")
     bodies = [o.sample.body for o in outliers if o.sample.body is not None]
     background = _background_bodies(initial)
     logger.info("top10k: %d outliers, %d candidate bodies to cluster",
@@ -208,33 +282,102 @@ def run_top10k_study(world: World,
     registry = registry_from_discovery(
         clusters, base=catalog or FingerprintRegistry.default())
     logger.info("top10k: %d clusters discovered", len(clusters))
+    return {"clusters": clusters, "registry": registry}
 
-    # Search the entire dataset for explicit block pages and confirm.
-    candidates = find_candidate_pairs(initial, registry, explicit_only=True)
+
+def _t10k_candidate_resample(ctx: RunContext) -> Dict[str, object]:
+    """§4.1.4: find explicit block-page pairs and resample them 20x."""
+    cfg: StudyConfig = ctx.config
+    candidates = find_candidate_pairs(ctx.artifact("initial"),
+                                      ctx.artifact("registry"),
+                                      explicit_only=True)
     logger.info("top10k: %d candidate pairs; resampling %dx",
                 len(candidates), cfg.samples_confirm)
-    resampled = engine.resample(sorted(candidates), cfg.samples_confirm, epoch=1)
-    confirmed = confirm_blocks(initial, resampled, registry,
+    resampled = ctx.scanner.resample(sorted(candidates), cfg.samples_confirm,
+                                     epoch=1)
+    return {"candidates": candidates, "resampled": resampled}
+
+
+def _t10k_confirm(ctx: RunContext) -> Dict[str, object]:
+    """§4.1.4: the ≥80%-agreement rule, plus the §4.2.2 'other pages'."""
+    cfg: StudyConfig = ctx.config
+    registry: FingerprintRegistry = ctx.artifact("registry")
+    confirmed = confirm_blocks(ctx.artifact("initial"),
+                               ctx.artifact("resampled"), registry,
                                threshold=cfg.agreement_threshold)
     logger.info("top10k: %d confirmed instances", len(confirmed))
+    other_pages = _count_non_explicit_pages(ctx.artifact("initial"), registry)
+    return {"confirmed": confirmed, "other_page_counts": other_pages}
 
-    other_pages = _count_non_explicit_pages(initial, registry)
+
+def top10k_stages() -> List[Stage]:
+    """The §4 study as an ordered stage graph."""
+    return [
+        Stage("safe-list", (ArtifactSpec("countries"),
+                            ArtifactSpec("safe_domains")), _t10k_safe_list),
+        Stage("country-ranking", (ArtifactSpec("top_blocking_countries"),),
+              _t10k_country_ranking),
+        Stage("initial-scan",
+              (ArtifactSpec("initial", KIND_DATASET),
+               ArtifactSpec("luminati_refused_domains"),
+               ArtifactSpec("never_responding_domains")), _t10k_initial_scan),
+        Stage("outliers", (ArtifactSpec("representatives"),
+                           ArtifactSpec("outliers")), _t10k_outliers),
+        Stage("discovery", (ArtifactSpec("clusters"),
+                            ArtifactSpec("registry")), _t10k_discovery),
+        Stage("candidate-resample",
+              (ArtifactSpec("candidates"),
+               ArtifactSpec("resampled", KIND_DATASET)),
+              _t10k_candidate_resample),
+        Stage("confirm", (ArtifactSpec("confirmed"),
+                          ArtifactSpec("other_page_counts")), _t10k_confirm),
+    ]
+
+
+def run_top10k_study(world: World,
+                     luminati: Optional[LuminatiClient] = None,
+                     config: Optional[StudyConfig] = None,
+                     lumscan_config: Optional[LumscanConfig] = None,
+                     catalog: Optional[FingerprintRegistry] = None,
+                     checkpoint_dir: Optional[str] = None,
+                     resume: bool = False) -> Top10KResult:
+    """The full §4 methodology over the synthetic Top 10K.
+
+    With ``checkpoint_dir`` set, every stage's artifacts are persisted
+    there; with ``resume=True`` as well, stages whose checkpoints are
+    complete (same configs, same stage fingerprint) are skipped and their
+    artifacts loaded — producing bit-identical results to a fresh run.
+    """
+    cfg = config or StudyConfig()
+    lum = luminati or LuminatiClient(world)
+    scanner = Lumscan(lum, config=lumscan_config, seed=cfg.seed)
+    engine = ScanEngine(scanner, workers=cfg.workers)
+
+    store = _study_store(checkpoint_dir, "top10k", cfg, world,
+                         salt=registry_salt(catalog))
+    runner = StudyRunner("top10k", top10k_stages(), store=store,
+                         resume=resume)
+    ctx = RunContext(world=world, config=cfg, scanner=engine,
+                     extras={"luminati": lum, "catalog": catalog},
+                     probe_counter=lambda: lum.request_count)
+    runner.run(ctx)
 
     return Top10KResult(
-        countries=list(countries),
-        safe_domains=safe_domains,
-        initial=initial,
-        top_blocking_countries=top_blocking,
-        representatives=representatives,
-        outliers=outliers,
-        clusters=clusters,
-        registry=registry,
-        candidates=candidates,
-        resampled=resampled,
-        confirmed=confirmed,
-        other_page_counts=other_pages,
-        luminati_refused_domains=refused,
-        never_responding_domains=never,
+        countries=ctx.artifact("countries"),
+        safe_domains=ctx.artifact("safe_domains"),
+        initial=ctx.artifact("initial"),
+        top_blocking_countries=ctx.artifact("top_blocking_countries"),
+        representatives=ctx.artifact("representatives"),
+        outliers=ctx.artifact("outliers"),
+        clusters=ctx.artifact("clusters"),
+        registry=ctx.artifact("registry"),
+        candidates=ctx.artifact("candidates"),
+        resampled=ctx.artifact("resampled"),
+        confirmed=ctx.artifact("confirmed"),
+        other_page_counts=ctx.artifact("other_page_counts"),
+        luminati_refused_domains=ctx.artifact("luminati_refused_domains"),
+        never_responding_domains=ctx.artifact("never_responding_domains"),
+        stage_stats=ctx.stats,
     )
 
 
@@ -295,6 +438,7 @@ class Top1MResult:
     resampled_nonexplicit: ScanDataset
     consistency: Dict[str, DomainConsistency]
     nonexplicit_flagged: Dict[str, List[str]]  # provider -> flagged domains
+    stage_stats: List[StageStats] = field(default_factory=list)
 
     @property
     def confirmed_domains(self) -> List[str]:
@@ -332,50 +476,76 @@ _EXPLICIT_PROVIDERS = ("cloudflare", "cloudfront", "appengine")
 _NONEXPLICIT_PROVIDERS = ("akamai", "incapsula")
 
 
-def run_top1m_study(world: World,
-                    luminati: Optional[LuminatiClient] = None,
-                    config: Optional[StudyConfig] = None,
-                    registry: Optional[FingerprintRegistry] = None) -> Top1MResult:
-    """The full §5 methodology over the synthetic Top 1M."""
-    cfg = config or StudyConfig()
-    lum = luminati or LuminatiClient(world)
-    scanner = Lumscan(lum, seed=cfg.seed)
-    engine = ScanEngine(scanner, workers=cfg.workers)
-    reg = registry or FingerprintRegistry.default()
-    alexa = AlexaList(world.population)
-    countries = lum.countries()
+# --------------------------------------------------------------------- #
+# Top-1M stages
 
-    # Identify the CDN customer population (§5.1.1).
-    population = identify_cdn_customers(world, alexa.full())
+
+def _t1m_customer_id(ctx: RunContext) -> Dict[str, object]:
+    """§5.1.1: identify the CDN customer population."""
+    alexa = AlexaList(ctx.world.population)
+    population = identify_cdn_customers(ctx.world, alexa.full())
+    logger.info("top1m: %d CDN customers identified",
+                len(population.all_domains()))
+    return {"population": population}
+
+
+def _t1m_sample(ctx: RunContext) -> Dict[str, object]:
+    """§5.1.2: safety filter and sample the customer list."""
+    cfg: StudyConfig = ctx.config
+    luminati: LuminatiClient = ctx.extras["luminati"]
+    alexa = AlexaList(ctx.world.population)
+    population: CDNPopulation = ctx.artifact("population")
     customers = sorted(population.all_domains())
-    logger.info("top1m: %d CDN customers identified", len(customers))
-
-    # Safety filter + sample (§5.1.2).
-    safe_customers = build_safe_list(world, customers)
+    safe_customers = build_safe_list(ctx.world, customers)
     sampled = alexa.sample(safe_customers, cfg.sample_fraction_top1m,
                            seed=cfg.seed)
-    urls = [f"http://{d}/" for d in sampled]
     logger.info("top1m: %d safe customers, %d sampled",
                 len(safe_customers), len(sampled))
+    return {"safe_customers": safe_customers, "sampled_domains": sampled,
+            "countries": list(luminati.countries())}
 
-    initial = engine.scan(urls, countries, samples=cfg.samples_initial)
+
+def _t1m_scan(ctx: RunContext) -> Dict[str, object]:
+    """§5.1.2: the initial snapshot over the sampled customers."""
+    cfg: StudyConfig = ctx.config
+    urls = [f"http://{d}/" for d in ctx.artifact("sampled_domains")]
+    initial = ctx.scanner.scan(urls, ctx.artifact("countries"),
+                               samples=cfg.samples_initial)
     logger.info("top1m: initial scan complete (%d samples)", len(initial))
+    return {"initial": initial}
 
-    # Explicit geoblockers: resample observed pairs 20x.
-    explicit_candidates = find_candidate_pairs(initial, reg,
+
+def _t1m_explicit_confirm(ctx: RunContext) -> Dict[str, object]:
+    """§5.2.1: resample and confirm explicit geoblockers."""
+    cfg: StudyConfig = ctx.config
+    registry: FingerprintRegistry = ctx.extras["registry"]
+    initial: ScanDataset = ctx.artifact("initial")
+    explicit_candidates = find_candidate_pairs(initial, registry,
                                                explicit_only=True)
-    resampled_explicit = engine.resample(sorted(explicit_candidates),
-                                         cfg.samples_confirm, epoch=1)
-    confirmed = confirm_blocks(initial, resampled_explicit, reg,
+    resampled_explicit = ctx.scanner.resample(sorted(explicit_candidates),
+                                              cfg.samples_confirm, epoch=1)
+    confirmed = confirm_blocks(initial, resampled_explicit, registry,
                                threshold=cfg.agreement_threshold)
+    logger.info("top1m: %d explicit candidates confirmed=%d",
+                len(explicit_candidates), len(confirmed))
+    return {"resampled_explicit": resampled_explicit, "confirmed": confirmed}
 
-    # Non-explicit (Akamai/Incapsula): any domain with a block page
-    # anywhere is resampled 20x in *every* country (§5.1.2).
+
+def _t1m_nonexplicit_confirm(ctx: RunContext) -> Dict[str, object]:
+    """§5.2.2: flag Akamai/Incapsula pages, resample everywhere, score.
+
+    Any domain with a non-explicit block page anywhere is resampled 20x in
+    *every* country, then the consistency criterion is applied.
+    """
+    cfg: StudyConfig = ctx.config
+    registry: FingerprintRegistry = ctx.extras["registry"]
+    initial: ScanDataset = ctx.artifact("initial")
+    countries = ctx.artifact("countries")
     flagged: Dict[str, List[str]] = {p: [] for p in _NONEXPLICIT_PROVIDERS}
     flagged_domains: Set[str] = set()
     domain_names = initial.domains()
     domain_codes = initial.domain_code_array()
-    for index, verdict in _classified_body_rows(initial, reg):
+    for index, verdict in _classified_body_rows(initial, registry):
         if verdict.kind == VERDICT_AMBIGUOUS and verdict.provider in flagged:
             domain = domain_names[domain_codes[index]]
             if domain not in flagged_domains:
@@ -383,27 +553,74 @@ def run_top1m_study(world: World,
                 flagged_domains.add(domain)
     nonexplicit_pairs = [(d, c) for d in sorted(flagged_domains)
                          for c in countries]
-    logger.info("top1m: %d explicit candidates confirmed=%d; "
-                "%d non-explicit flagged domains -> %d resample pairs",
-                len(explicit_candidates), len(confirmed),
+    logger.info("top1m: %d non-explicit flagged domains -> %d resample pairs",
                 len(flagged_domains), len(nonexplicit_pairs))
-    resampled_nonexplicit = engine.resample(nonexplicit_pairs,
-                                            cfg.samples_confirm, epoch=1)
+    resampled_nonexplicit = ctx.scanner.resample(nonexplicit_pairs,
+                                                 cfg.samples_confirm, epoch=1)
     consistency = domain_consistency(
-        resampled_nonexplicit, reg,
+        resampled_nonexplicit, registry,
         page_types=(blockpages.AKAMAI_BLOCK, blockpages.INCAPSULA_BLOCK))
+    return {"nonexplicit_flagged": flagged,
+            "resampled_nonexplicit": resampled_nonexplicit,
+            "consistency": consistency}
+
+
+def top1m_stages() -> List[Stage]:
+    """The §5 study as an ordered stage graph."""
+    return [
+        Stage("customer-id", (ArtifactSpec("population"),), _t1m_customer_id),
+        Stage("sample", (ArtifactSpec("safe_customers"),
+                         ArtifactSpec("sampled_domains"),
+                         ArtifactSpec("countries")), _t1m_sample),
+        Stage("scan", (ArtifactSpec("initial", KIND_DATASET),), _t1m_scan),
+        Stage("explicit-confirm",
+              (ArtifactSpec("resampled_explicit", KIND_DATASET),
+               ArtifactSpec("confirmed")), _t1m_explicit_confirm),
+        Stage("nonexplicit-confirm",
+              (ArtifactSpec("nonexplicit_flagged"),
+               ArtifactSpec("resampled_nonexplicit", KIND_DATASET),
+               ArtifactSpec("consistency")), _t1m_nonexplicit_confirm),
+    ]
+
+
+def run_top1m_study(world: World,
+                    luminati: Optional[LuminatiClient] = None,
+                    config: Optional[StudyConfig] = None,
+                    registry: Optional[FingerprintRegistry] = None,
+                    checkpoint_dir: Optional[str] = None,
+                    resume: bool = False) -> Top1MResult:
+    """The full §5 methodology over the synthetic Top 1M.
+
+    Checkpointing works as in :func:`run_top10k_study`; the inherited
+    ``registry`` is folded into the stage fingerprints, so checkpoints
+    produced under a different registry are never reused.
+    """
+    cfg = config or StudyConfig()
+    lum = luminati or LuminatiClient(world)
+    scanner = Lumscan(lum, seed=cfg.seed)
+    engine = ScanEngine(scanner, workers=cfg.workers)
+    reg = registry or FingerprintRegistry.default()
+
+    store = _study_store(checkpoint_dir, "top1m", cfg, world,
+                         salt=registry_salt(reg))
+    runner = StudyRunner("top1m", top1m_stages(), store=store, resume=resume)
+    ctx = RunContext(world=world, config=cfg, scanner=engine,
+                     extras={"luminati": lum, "registry": reg},
+                     probe_counter=lambda: lum.request_count)
+    runner.run(ctx)
 
     return Top1MResult(
-        population=population,
-        safe_customers=safe_customers,
-        sampled_domains=sampled,
-        countries=list(countries),
-        initial=initial,
-        resampled_explicit=resampled_explicit,
-        confirmed=confirmed,
-        resampled_nonexplicit=resampled_nonexplicit,
-        consistency=consistency,
-        nonexplicit_flagged=flagged,
+        population=ctx.artifact("population"),
+        safe_customers=ctx.artifact("safe_customers"),
+        sampled_domains=ctx.artifact("sampled_domains"),
+        countries=ctx.artifact("countries"),
+        initial=ctx.artifact("initial"),
+        resampled_explicit=ctx.artifact("resampled_explicit"),
+        confirmed=ctx.artifact("confirmed"),
+        resampled_nonexplicit=ctx.artifact("resampled_nonexplicit"),
+        consistency=ctx.artifact("consistency"),
+        nonexplicit_flagged=ctx.artifact("nonexplicit_flagged"),
+        stage_stats=ctx.stats,
     )
 
 
@@ -519,7 +736,7 @@ def run_vps_exploration(world: World,
 # Observation pools for Figures 1 and 3
 
 
-def build_observation_pools(world: World, scanner: "Lumscan | ScanEngine",
+def build_observation_pools(world: World, scanner: Scanner,
                             pairs: Sequence[Tuple[str, str]],
                             registry: Optional[FingerprintRegistry] = None,
                             samples: int = 100,

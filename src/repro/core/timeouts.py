@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lumscan.records import NO_RESPONSE, ScanDataset
-from repro.lumscan.scanner import Lumscan
+from repro.lumscan.base import Scanner
 
 #: Countries whose censors are known to cause timeouts/resets; timeout
 #: signals there are unattributable (the §7.3 caveat).
@@ -90,7 +90,7 @@ def find_timeout_candidates(dataset: ScanDataset,
     return candidates
 
 
-def confirm_timeout_blocks(scanner: Lumscan,
+def confirm_timeout_blocks(scanner: Scanner,
                            candidates: Sequence[TimeoutCandidate],
                            samples: int = 20, epoch: int = 1,
                            screen_samples: int = 10,
@@ -158,7 +158,7 @@ class TimeoutStudyResult:
         return [c for c in self.confirmed if not c.ambiguous_censorship]
 
 
-def run_timeout_study(scanner: Lumscan, dataset: ScanDataset,
+def run_timeout_study(scanner: Scanner, dataset: ScanDataset,
                       min_responsive_countries: int = 5,
                       confirm_samples: int = 20,
                       screen_samples: int = 10,

@@ -1,9 +1,10 @@
 """Lumscan: the reliability-hardened Luminati scanning tool (§3.2)."""
 
+from repro.lumscan.base import Scanner
 from repro.lumscan.engine import ProbeTask, ScanEngine
 from repro.lumscan.records import Sample, ScanDataset
 from repro.lumscan.scanner import Lumscan, LumscanConfig
 from repro.lumscan.serialize import dump_dataset, load_dataset
 
-__all__ = ["ProbeTask", "ScanEngine", "Sample", "ScanDataset", "Lumscan",
-           "LumscanConfig", "dump_dataset", "load_dataset"]
+__all__ = ["ProbeTask", "ScanEngine", "Sample", "ScanDataset", "Scanner",
+           "Lumscan", "LumscanConfig", "dump_dataset", "load_dataset"]

@@ -4,24 +4,87 @@ Scans are expensive (millions of probes), so batch runs save raw results
 and analyses reload them.  The format is one JSON object per record —
 append-friendly, diff-able, and stream-parsable.  Bodies are stored only
 when the dataset retained them (same policy as in memory).
+
+Two properties matter for checkpointing:
+
+* **Crash safety** — :func:`dump_dataset` writes to a temporary file in
+  the target directory and atomically :func:`os.replace`\\ s it into
+  place, so an interrupted run can never leave a truncated dataset
+  behind: the file either has the old content or the complete new one.
+* **Transparent gzip** — paths ending in ``.gz`` are compressed (retained
+  block-page bodies dominate checkpoint size at paper scale, and they
+  compress extremely well).  Compressed files are written with ``mtime=0``
+  so identical datasets produce identical bytes.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import os
-from typing import IO, Iterator, Union
+from contextlib import contextmanager
+from typing import Iterator, Union
 
 from repro.lumscan.records import ScanDataset
 
 _FIELDS = ("domain", "country", "status", "length", "body", "error",
            "interfered")
 
+PathLike = Union[str, os.PathLike]
 
-def dump_dataset(dataset: ScanDataset, path: Union[str, os.PathLike]) -> int:
-    """Write a dataset as JSONL; returns the number of records written."""
+
+def _is_gzip(path: PathLike) -> bool:
+    return os.fspath(path).endswith(".gz")
+
+
+@contextmanager
+def _atomic_text_writer(path: PathLike) -> Iterator[io.TextIOBase]:
+    """A text handle whose content reaches ``path`` only on clean exit.
+
+    Data goes to ``<path>.tmp.<pid>`` first; on success the temp file is
+    atomically renamed over the target (same-directory ``os.replace``).
+    On error the temp file is removed and the target is untouched.
+    """
+    target = os.fspath(path)
+    tmp = f"{target}.tmp.{os.getpid()}"
+    raw = open(tmp, "wb")
+    try:
+        if _is_gzip(target):
+            # mtime=0 keeps the byte stream a pure function of the content.
+            gz = gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0)
+            handle = io.TextIOWrapper(gz, encoding="utf-8", newline="\n")
+        else:
+            handle = io.TextIOWrapper(raw, encoding="utf-8", newline="\n")
+        try:
+            yield handle
+        finally:
+            handle.close()   # closes the gzip member, then the raw file
+        os.replace(tmp, target)
+    except BaseException:
+        raw.close()
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _open_text(path: PathLike) -> io.TextIOBase:
+    """Open a (possibly gzip-compressed) text file for reading."""
+    if _is_gzip(path):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def dump_dataset(dataset: ScanDataset, path: PathLike) -> int:
+    """Write a dataset as JSONL; returns the number of records written.
+
+    The write is atomic (temp file + ``os.replace``) and transparently
+    gzip-compressed when ``path`` ends in ``.gz``.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with _atomic_text_writer(path) as handle:
         for sample in dataset:
             record = {
                 "domain": sample.domain,
@@ -40,10 +103,10 @@ def dump_dataset(dataset: ScanDataset, path: Union[str, os.PathLike]) -> int:
     return count
 
 
-def load_dataset(path: Union[str, os.PathLike]) -> ScanDataset:
+def load_dataset(path: PathLike) -> ScanDataset:
     """Read a JSONL dataset written by :func:`dump_dataset`."""
     dataset = ScanDataset()
-    with open(path, "r", encoding="utf-8") as handle:
+    with _open_text(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

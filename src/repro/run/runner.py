@@ -1,0 +1,92 @@
+"""StudyRunner: ordered stage execution with checkpoint skip-and-load.
+
+The runner walks a study's stage list in order.  For each stage it either
+
+* **loads** the stage's artifacts from a complete, fingerprint-matching
+  checkpoint (``resume=True`` and the store has one), or
+* **executes** the stage function and, when a store is attached,
+  checkpoints the declared outputs before moving on.
+
+Either way the artifacts land in ``context.artifacts`` for downstream
+stages, and a :class:`~repro.run.stage.StageStats` entry (wall-time,
+probes issued, cache hit, dataset rows) is appended to ``context.stats``
+and logged.  Because probe outcomes are pure functions of task identity
+(the :class:`~repro.lumscan.engine.ScanEngine` contract), a resumed run
+is bit-identical to a fresh one — skipped stages contribute exactly the
+artifacts they would have recomputed.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.lumscan.records import ScanDataset
+from repro.run.artifacts import ArtifactStore
+from repro.run.stage import RunContext, Stage, StageStats
+
+logger = logging.getLogger("repro.run")
+
+
+class StudyRunner:
+    """Executes one study's stage graph over a :class:`RunContext`."""
+
+    def __init__(self, study: str, stages: Sequence[Stage],
+                 store: Optional[ArtifactStore] = None,
+                 resume: bool = False) -> None:
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+        self._study = study
+        self._stages = list(stages)
+        self._store = store
+        self._resume = resume and store is not None
+
+    @property
+    def stages(self) -> Sequence[Stage]:
+        return tuple(self._stages)
+
+    def run(self, context: RunContext) -> RunContext:
+        """Run every stage in order, skipping complete checkpoints."""
+        for stage in self._stages:
+            started = time.perf_counter()
+            probes_before = context.probes_issued()
+            manifest = self._store.manifest(stage) if self._resume else None
+            if manifest is not None:
+                outputs = self._store.load_stage(stage, manifest)
+                cache_hit = True
+            else:
+                outputs = stage.run(context)
+                missing = set(stage.output_names()) - set(outputs)
+                if missing:
+                    raise RuntimeError(
+                        f"stage {stage.name!r} did not produce declared "
+                        f"artifacts: {sorted(missing)}")
+                cache_hit = False
+            seconds = time.perf_counter() - started
+            probes = context.probes_issued() - probes_before
+            if self._store is not None and not cache_hit:
+                self._store.save_stage(stage, outputs,
+                                       probes=probes, seconds=seconds)
+            context.artifacts.update(outputs)
+            stats = StageStats(
+                stage=stage.name,
+                seconds=seconds,
+                probes=probes,
+                cache_hit=cache_hit,
+                artifacts=len(stage.outputs),
+                records=sum(len(value) for value in outputs.values()
+                            if isinstance(value, ScanDataset)),
+            )
+            context.stats.append(stats)
+            logger.info(
+                "%s/%s: %s in %.2fs (probes=%d, records=%d)",
+                self._study, stage.name,
+                "checkpoint hit" if cache_hit else "executed",
+                seconds, probes, stats.records)
+        return context
+
+    def stats_by_stage(self, context: RunContext) -> Dict[str, StageStats]:
+        """The context's stats keyed by stage name (convenience)."""
+        return {stats.stage: stats for stats in context.stats}

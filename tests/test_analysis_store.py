@@ -77,3 +77,52 @@ class TestErrors:
         loaded = load_report(path)
         assert not loaded.tables
         assert not loaded.figures
+
+
+class TestStageStats:
+    def test_stage_stats_roundtrip(self, tmp_path):
+        report = _report()
+        report.stage_stats["top10k"] = [
+            {"stage": "initial-scan", "seconds": 1.5, "probes": 900,
+             "cache_hit": False, "artifacts": 3, "records": 900},
+        ]
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        assert load_report(path).stage_stats == report.stage_stats
+
+    def test_reports_without_stage_stats_load(self, tmp_path):
+        """Files written before stage_stats existed must still load."""
+        path = tmp_path / "report.json"
+        save_report(_report(), path)
+        payload = json.loads(path.read_text())
+        del payload["stage_stats"]
+        path.write_text(json.dumps(payload))
+        assert load_report(path).stage_stats == {}
+
+    def test_stage_stats_absent_from_rendered_output(self, tmp_path):
+        report = _report()
+        report.stage_stats["top10k"] = [
+            {"stage": "initial-scan", "seconds": 1.5, "probes": 900,
+             "cache_hit": False, "artifacts": 3, "records": 900},
+        ]
+        assert "initial-scan" not in report.to_markdown()
+        assert "initial-scan" not in report.to_text()
+
+
+class TestAtomicSave:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_report(_report(), tmp_path / "report.json")
+        assert [p.name for p in tmp_path.iterdir()
+                if ".tmp." in p.name] == []
+
+    def test_failed_save_preserves_existing_file(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(_report(), path)
+        before = path.read_bytes()
+        bad = _report()
+        bad.findings["unserializable"] = object()
+        with pytest.raises(TypeError):
+            save_report(bad, path)
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()
+                if ".tmp." in p.name] == []

@@ -82,3 +82,72 @@ class TestErrors:
         path.write_text('{"domain":"a.com","country":"US"}\n')
         with pytest.raises(ValueError, match="missing field"):
             load_dataset(path)
+
+
+class TestGzip:
+    def test_gz_roundtrip_preserves_records(self, tmp_path):
+        original = _dataset()
+        path = tmp_path / "scan.jsonl.gz"
+        written = dump_dataset(original, path)
+        assert written == len(original)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(original)
+        for i in range(len(original)):
+            assert loaded.row(i) == original.row(i)
+
+    def test_gz_file_is_actually_compressed(self, tmp_path):
+        path = tmp_path / "scan.jsonl.gz"
+        dump_dataset(_dataset(), path)
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+
+    def test_gz_bytes_are_deterministic(self, tmp_path):
+        """mtime=0 keeps the byte stream a pure function of the content —
+        checkpoint comparison and resume tests rely on this."""
+        a = tmp_path / "a.jsonl.gz"
+        b = tmp_path / "b.jsonl.gz"
+        dump_dataset(_dataset(), a)
+        dump_dataset(_dataset(), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_gz_and_plain_agree(self, tmp_path):
+        original = _dataset()
+        plain = tmp_path / "scan.jsonl"
+        gz = tmp_path / "scan.jsonl.gz"
+        dump_dataset(original, plain)
+        dump_dataset(original, gz)
+        import gzip
+        assert gzip.open(gz, "rt").read() == plain.read_text()
+
+    def test_empty_gz_dataset(self, tmp_path):
+        path = tmp_path / "empty.jsonl.gz"
+        assert dump_dataset(ScanDataset(), path) == 0
+        assert len(load_dataset(path)) == 0
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        dump_dataset(_dataset(), tmp_path / "scan.jsonl")
+        dump_dataset(_dataset(), tmp_path / "scan.jsonl.gz")
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_failed_dump_preserves_existing_file(self, tmp_path):
+        """A crash mid-write must leave the previous dataset intact."""
+        path = tmp_path / "scan.jsonl"
+        dump_dataset(_dataset(), path)
+        before = path.read_bytes()
+
+        class Exploding(ScanDataset):
+            def __iter__(self):
+                yield from super().__iter__()
+                raise RuntimeError("simulated crash mid-write")
+
+        bad = Exploding()
+        bad.append("x.com", "US", 200, 1, None)
+        with pytest.raises(RuntimeError):
+            dump_dataset(bad, path)
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()
+                if ".tmp." in p.name] == []
