@@ -1,0 +1,156 @@
+"""Probe-path benchmark: length-only fast lane + process sharding.
+
+Two claims from the probe fast lane are measured here on fresh ``small``
+worlds (cold page caches, the state a real scan starts from):
+
+* **Fast lane**: a single-worker scan with the default
+  ``BodyPolicy.lengths_over(BODY_KEEP_THRESHOLD)`` must push at least 2x
+  the probes/sec of a full-materialization scan.  The win comes from
+  ``page_length`` replaying ``generate_page``'s RNG draws without
+  building the page, plus skipping the jitter concatenation for bodies
+  the dataset would drop anyway.
+* **Process sharding**: at 4 workers the ``ProcessPoolExecutor`` shape
+  must beat the GIL-bound thread pool on wall clock.  The container this
+  repo develops in has a single core, so that assertion is gated on
+  ``os.cpu_count() >= 2`` (CI runners have more); the timings are
+  recorded unconditionally.
+
+Throughputs land in ``BENCH_probe.json`` at the repo root so CI keeps a
+trajectory across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.httpsim.messages import BodyPolicy
+from repro.lumscan.engine import ScanEngine
+from repro.lumscan.scanner import Lumscan
+from repro.proxynet.luminati import LuminatiClient
+from repro.websim.world import World, WorldConfig
+
+WORLD_SEED = 7
+SCAN_SEED = 9
+DOMAINS = 300
+COUNTRIES = 3
+#: The executor comparison uses a wider country slice so the scan is long
+#: enough to amortize each process worker's one-time world rebuild.
+EXECUTOR_COUNTRIES = 20
+SAMPLES = 3
+WORKERS = 4
+MIN_FASTLANE_SPEEDUP = 2.0
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_probe.json"
+
+
+def _fresh_world() -> World:
+    """A new small world per measurement: cold page/length caches."""
+    return World(WorldConfig.small(seed=WORLD_SEED))
+
+
+def _scan_slice(world, n_countries=COUNTRIES):
+    urls = [d.url for d in world.population.top(2 * DOMAINS)
+            if not d.dead and not d.redirect_loop][:DOMAINS]
+    countries = LuminatiClient(world).countries()[:n_countries]
+    return urls, countries
+
+
+def _rows(data):
+    return [data.row(i) for i in range(len(data))]
+
+
+def _timed_scan(scanner_factory, repeat: int = 2, n_countries=COUNTRIES):
+    """Best-of-``repeat`` scan, each against a freshly built world.
+
+    A fresh world per repeat keeps the page caches cold — the state a
+    real scan starts from — while best-of filters scheduler noise.
+    """
+    best_rate, best_elapsed, data = 0.0, float("inf"), None
+    for _ in range(repeat):
+        world = _fresh_world()
+        urls, countries = _scan_slice(world, n_countries)
+        scanner = scanner_factory(world)
+        started = time.perf_counter()
+        data = scanner.scan(urls, countries, samples=SAMPLES)
+        elapsed = time.perf_counter() - started
+        if elapsed < best_elapsed:
+            best_elapsed = elapsed
+            best_rate = len(data) / elapsed
+    return data, best_rate, best_elapsed
+
+
+def _write_trajectory(key: str, payload: dict) -> None:
+    record = {}
+    if _RESULTS_PATH.exists():
+        try:
+            record = json.loads(_RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record[key] = payload
+    _RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def test_fast_lane_speedup_single_worker():
+    full, full_rate, full_time = _timed_scan(
+        lambda world: Lumscan(LuminatiClient(world), seed=SCAN_SEED,
+                              body_policy=BodyPolicy.full()))
+    fast, fast_rate, fast_time = _timed_scan(
+        lambda world: Lumscan(LuminatiClient(world), seed=SCAN_SEED))
+
+    # Correctness first: the fast lane changes nothing the dataset keeps.
+    assert _rows(fast) == _rows(full)
+
+    speedup = fast_rate / full_rate
+    print(f"\nfast lane: full {full_rate:,.0f} probes/s ({full_time:.2f}s), "
+          f"elided {fast_rate:,.0f} probes/s ({fast_time:.2f}s), "
+          f"speedup {speedup:.2f}x")
+    _write_trajectory("fast_lane_single_worker", {
+        "probes": len(full),
+        "full_probes_per_sec": round(full_rate, 1),
+        "fastlane_probes_per_sec": round(fast_rate, 1),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= MIN_FASTLANE_SPEEDUP, (
+        f"expected >= {MIN_FASTLANE_SPEEDUP}x fast-lane speedup, "
+        f"got {speedup:.2f}x")
+
+
+def test_executor_scaling():
+    cpus = os.cpu_count() or 1
+    serial, serial_rate, _ = _timed_scan(
+        lambda world: Lumscan(LuminatiClient(world), seed=SCAN_SEED),
+        n_countries=EXECUTOR_COUNTRIES)
+    threaded, thread_rate, thread_time = _timed_scan(
+        lambda world: ScanEngine(Lumscan(LuminatiClient(world),
+                                         seed=SCAN_SEED),
+                                 workers=WORKERS, executor="thread"),
+        n_countries=EXECUTOR_COUNTRIES)
+    processed, process_rate, process_time = _timed_scan(
+        lambda world: ScanEngine(Lumscan(LuminatiClient(world),
+                                         seed=SCAN_SEED),
+                                 workers=WORKERS, executor="process"),
+        n_countries=EXECUTOR_COUNTRIES)
+
+    assert _rows(threaded) == _rows(serial)
+    assert _rows(processed) == _rows(serial)
+
+    print(f"\nexecutors ({cpus} cpus, {WORKERS} workers): "
+          f"serial {serial_rate:,.0f} probes/s, "
+          f"thread {thread_rate:,.0f} probes/s ({thread_time:.2f}s), "
+          f"process {process_rate:,.0f} probes/s ({process_time:.2f}s)")
+    _write_trajectory("executor_scaling", {
+        "cpus": cpus,
+        "workers": WORKERS,
+        "probes": len(serial),
+        "serial_probes_per_sec": round(serial_rate, 1),
+        "thread_probes_per_sec": round(thread_rate, 1),
+        "process_probes_per_sec": round(process_rate, 1),
+    })
+    if cpus >= 2:
+        # The simulated transport never blocks, so threads are GIL-bound
+        # and the process pool is the only shape that can actually scale.
+        assert process_rate > thread_rate, (
+            f"process pool ({process_rate:,.0f}/s) should beat the thread "
+            f"pool ({thread_rate:,.0f}/s) on {cpus} cpus")

@@ -194,7 +194,8 @@ class ExperimentSuite:
         if include_pools and result.confirmed:
             pairs = [(c.domain, c.country) for c in result.confirmed][:pool_pairs]
             scanner = ScanEngine(Lumscan(self.luminati, seed=self.config.seed),
-                                 workers=self.config.workers)
+                                 workers=self.config.workers,
+                                 executor=self.config.executor)
             pools = build_observation_pools(world, scanner, pairs,
                                             result.registry,
                                             samples=pool_samples)
@@ -320,7 +321,8 @@ class ExperimentSuite:
         from repro.websim.policies import ACTION_DROP
 
         scanner = ScanEngine(Lumscan(self.luminati, seed=self.config.seed),
-                             workers=self.config.workers)
+                             workers=self.config.workers,
+                             executor=self.config.executor)
         study = run_timeout_study(scanner, result.initial)
         report.findings["timeout.candidates"] = len(study.candidates)
         report.findings["timeout.confirmed"] = len(study.confirmed)

@@ -38,7 +38,10 @@ def _world(scale: str, seed: int) -> World:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     world = _world(args.scale, args.seed)
-    suite = ExperimentSuite(world, checkpoint_dir=args.checkpoint_dir,
+    config = StudyConfig(seed=args.seed, workers=max(1, args.workers),
+                         executor=args.executor)
+    suite = ExperimentSuite(world, study_config=config,
+                            checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume)
     started = time.time()
     report = suite.run(include_top1m=not args.no_top1m,
@@ -201,6 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="skip stages with complete checkpoints "
                           "(requires --checkpoint-dir)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="scan-engine worker pool width; output is "
+                          "identical for any count (default: 1)")
+    run.add_argument("--executor", default="thread",
+                     choices=("thread", "process"),
+                     help="scan-engine pool shape; 'process' sidesteps the "
+                          "GIL for the CPU-bound simulated probes "
+                          "(default: thread)")
     run.set_defaults(func=_cmd_run)
 
     top10k = sub.add_parser("top10k", help="run only the Top-10K study")

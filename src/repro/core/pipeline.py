@@ -94,6 +94,7 @@ class StudyConfig:
     sample_fraction_top1m: float = 0.85  # §5.1.2 sampling of safe customers
     seed: int = 0
     workers: int = 1                  # scan-engine pool width (1 = inline)
+    executor: str = "thread"          # scan-engine pool shape (or "process")
 
 
 def registry_salt(registry: Optional[FingerprintRegistry]) -> str:
@@ -351,7 +352,8 @@ def run_top10k_study(world: World,
     cfg = config or StudyConfig()
     lum = luminati or LuminatiClient(world)
     scanner = Lumscan(lum, config=lumscan_config, seed=cfg.seed)
-    engine = ScanEngine(scanner, workers=cfg.workers)
+    engine = ScanEngine(scanner, workers=cfg.workers,
+                        executor=cfg.executor)
 
     store = _study_store(checkpoint_dir, "top10k", cfg, world,
                          salt=registry_salt(catalog))
@@ -598,7 +600,8 @@ def run_top1m_study(world: World,
     cfg = config or StudyConfig()
     lum = luminati or LuminatiClient(world)
     scanner = Lumscan(lum, seed=cfg.seed)
-    engine = ScanEngine(scanner, workers=cfg.workers)
+    engine = ScanEngine(scanner, workers=cfg.workers,
+                        executor=cfg.executor)
     reg = registry or FingerprintRegistry.default()
 
     store = _study_store(checkpoint_dir, "top1m", cfg, world,

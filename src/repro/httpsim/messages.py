@@ -96,14 +96,62 @@ class Request:
         return Request(url=url, method=self.method, headers=self.headers.copy())
 
 
+@dataclass(frozen=True)
+class BodyPolicy:
+    """What a caller needs from response bodies.
+
+    The scan pipeline discards the body of any 200 response longer than
+    ``BODY_KEEP_THRESHOLD`` — only its length survives into the dataset.
+    Declaring that up front (``lengths_over(threshold)``) lets the origin
+    simulation skip materializing exactly those bodies and answer with
+    ``Response.body_length`` instead.  Block pages, errors, and short pages
+    are always materialized, so classification inputs are byte-identical
+    either way.
+    """
+
+    #: 200-bodies strictly longer than this may be elided to a length.
+    #: ``None`` means never elide (full materialization).
+    length_threshold: Optional[int] = None
+
+    @property
+    def elides(self) -> bool:
+        """True when this policy permits length-only synthesis."""
+        return self.length_threshold is not None
+
+    @classmethod
+    def full(cls) -> "BodyPolicy":
+        """Materialize every body (the default)."""
+        return cls(length_threshold=None)
+
+    @classmethod
+    def lengths_over(cls, threshold: int) -> "BodyPolicy":
+        """Elide 200-bodies longer than ``threshold`` to a bare length."""
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        return cls(length_threshold=threshold)
+
+
 @dataclass
 class Response:
-    """An HTTP response as observed by a vantage point."""
+    """An HTTP response as observed by a vantage point.
+
+    ``body_length`` is set instead of ``body`` when the origin elided the
+    body under a :class:`BodyPolicy`; ``content_length`` is the uniform
+    accessor that works for both shapes.
+    """
 
     status: int
     headers: Headers = field(default_factory=Headers)
     body: str = ""
     url: Optional[URL] = None
+    body_length: Optional[int] = None
+
+    @property
+    def content_length(self) -> int:
+        """The body length in characters, whether or not it was materialized."""
+        if self.body_length is not None:
+            return self.body_length
+        return len(self.body)
 
     @property
     def reason(self) -> str:
@@ -121,4 +169,4 @@ class Response:
         return self.headers.get("Location")
 
     def __len__(self) -> int:
-        return len(self.body)
+        return self.content_length

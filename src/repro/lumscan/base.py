@@ -29,3 +29,31 @@ class Scanner(Protocol):
                  dataset: Optional[ScanDataset] = None) -> ScanDataset:
         """Re-probe specific (domain, country) pairs ``samples`` times."""
         ...
+
+
+@runtime_checkable
+class SpawnableScanner(Protocol):
+    """The extra contract ``ScanEngine(executor="process")`` requires.
+
+    A spawnable scanner can describe itself as a picklable spec that a
+    worker process rebuilds into a bit-identical replica, and can fold the
+    replicas' traffic stats back into its own counters so request/fetch
+    totals stay accurate across process boundaries.
+    :class:`~repro.lumscan.scanner.Lumscan` satisfies this.
+    """
+
+    def run_task(self, task) -> object:
+        """Execute one probe task (the engine's unit of work)."""
+        ...
+
+    def spawn_spec(self) -> object:
+        """A picklable recipe for rebuilding this scanner in a worker."""
+        ...
+
+    def worker_counts(self) -> Tuple[int, int]:
+        """(requests, fetches) served so far — the delta source."""
+        ...
+
+    def absorb_worker_counts(self, requests: int, fetches: int) -> None:
+        """Fold worker-replica traffic deltas into this scanner's stats."""
+        ...

@@ -18,15 +18,21 @@ count**.  Two mechanisms make that possible:
    by a ``ThreadPoolExecutor``; results are merged back in chunk order, so
    completion order is irrelevant.
 
-Threads (not processes) are the right pool shape here for the same reason
-they are for the real tool: scanning is latency-bound, and the per-probe
-work releases the interpreter whenever the transport would block.
+The engine offers two pool shapes.  ``executor="thread"`` matches the
+real tool's latency-bound profile.  The *simulated* transport, however,
+never blocks — a thread pool is GIL-bound and buys little — so
+``executor="process"`` ships task chunks to a ``ProcessPoolExecutor``:
+each worker process rebuilds the scanner once from a picklable
+:class:`~repro.lumscan.scanner.ScannerSpec`, runs its chunks, and returns
+compact columnar per-chunk datasets that the parent merges in chunk order
+via :meth:`ScanDataset.extend`.  The same two mechanisms above make the
+merged result bit-identical to serial.
 """
 
 from __future__ import annotations
 
 import logging
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -37,6 +43,9 @@ from repro.lumscan.records import NO_RESPONSE, ScanDataset
 #: Tasks per work unit handed to the pool.  Small enough that the pool
 #: load-balances uneven chunks, large enough to amortize dispatch.
 DEFAULT_CHUNK_SIZE = 64
+
+#: Valid ``ScanEngine(executor=...)`` values.
+EXECUTORS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -82,13 +91,48 @@ def resample_tasks(pairs: Iterable[Tuple[str, str]], samples: int,
 
 
 def record_probe(data: ScanDataset, domain: str, country: str, result) -> None:
-    """Append one ProbeResult to a dataset (shared by scanner and engine)."""
+    """Append one ProbeResult to a dataset (shared by scanner and engine).
+
+    A response whose body was elided under a
+    :class:`~repro.httpsim.messages.BodyPolicy` carries ``body_length``
+    instead of a body; only bodies the dataset would retain anyway are
+    ever materialized, so both lanes append identical records.
+    """
     if result.ok:
         response = result.response
-        data.append(domain, country, response.status, len(response.body),
-                    response.body, interfered=result.interfered)
+        body = None if response.body_length is not None else response.body
+        data.append(domain, country, response.status,
+                    response.content_length, body,
+                    interfered=result.interfered)
     else:
         data.append(domain, country, NO_RESPONSE, 0, None, error=result.error)
+
+
+# Module-level worker state for the process executor: each worker process
+# builds its scanner replica once (in the pool initializer) and tracks the
+# traffic counts it last reported, so every chunk returns exact deltas.
+_WORKER_SCANNER = None
+_WORKER_COUNTS = (0, 0)
+
+
+def _process_worker_init(spec) -> None:
+    global _WORKER_SCANNER, _WORKER_COUNTS
+    _WORKER_SCANNER = spec.build()
+    _WORKER_COUNTS = _WORKER_SCANNER.worker_counts()
+
+
+def _process_run_chunk(chunk: List[ProbeTask]):
+    """Run one chunk in a worker: columnar results + traffic deltas."""
+    global _WORKER_COUNTS
+    scanner = _WORKER_SCANNER
+    data = ScanDataset()
+    run = scanner.run_task
+    for task in chunk:
+        record_probe(data, task.domain, task.country, run(task))
+    requests, fetches = scanner.worker_counts()
+    prev_requests, prev_fetches = _WORKER_COUNTS
+    _WORKER_COUNTS = (requests, fetches)
+    return data, requests - prev_requests, fetches - prev_fetches
 
 
 class ScanEngine:
@@ -100,19 +144,29 @@ class ScanEngine:
     """
 
     def __init__(self, scanner, workers: int = 1,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 executor: str = "thread") -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}")
         self._scanner = scanner
         self._workers = workers
         self._chunk_size = chunk_size
+        self._executor = executor
 
     @property
     def workers(self) -> int:
         """Configured pool width."""
         return self._workers
+
+    @property
+    def executor(self) -> str:
+        """Configured pool shape ("thread" or "process")."""
+        return self._executor
 
     # ------------------------------------------------------------------ #
 
@@ -147,8 +201,10 @@ class ScanEngine:
 
         chunks = [tasks[i:i + self._chunk_size]
                   for i in range(0, len(tasks), self._chunk_size)]
-        logger.debug("engine: %d tasks in %d chunks over %d workers",
-                     len(tasks), len(chunks), self._workers)
+        logger.debug("engine: %d tasks in %d chunks over %d %s workers",
+                     len(tasks), len(chunks), self._workers, self._executor)
+        if self._executor == "process":
+            return self._execute_processes(chunks, data)
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
             # Executor.map yields chunk results in submission order, so the
             # merge below reproduces the serial record order exactly even
@@ -161,3 +217,28 @@ class ScanEngine:
     def _run_chunk(self, chunk: List[ProbeTask]):
         run = self._scanner.run_task
         return [(task, run(task)) for task in chunk]
+
+    def _execute_processes(self, chunks: List[List[ProbeTask]],
+                           data: ScanDataset) -> ScanDataset:
+        scanner = self._scanner
+        spawn = getattr(scanner, "spawn_spec", None)
+        if spawn is None:
+            raise TypeError(
+                f"executor='process' needs a spawnable scanner "
+                f"(spawn_spec/worker_counts/absorb_worker_counts); "
+                f"{type(scanner).__name__} has no spawn_spec")
+        spec = spawn()
+        requests = fetches = 0
+        with ProcessPoolExecutor(max_workers=self._workers,
+                                 initializer=_process_worker_init,
+                                 initargs=(spec,)) as pool:
+            # Chunk results arrive in submission order (Executor.map), and
+            # extend() reconciles code tables in first-seen order, so the
+            # merged dataset is byte-identical to a serial scan.
+            for chunk_data, request_delta, fetch_delta in pool.map(
+                    _process_run_chunk, chunks):
+                data.extend(chunk_data)
+                requests += request_delta
+                fetches += fetch_delta
+        scanner.absorb_worker_counts(requests, fetches)
+        return data

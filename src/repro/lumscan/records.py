@@ -154,6 +154,21 @@ class ScanDataset:
         self._n = offset + m
 
     # ------------------------------------------------------------------ #
+    # Pickling (process-executor transport)
+
+    def __getstate__(self):
+        # Ship only the valid prefix of each growable buffer: worker
+        # processes return many small chunk datasets, and the empty
+        # over-allocated capacity would otherwise dominate the pickle.
+        state = self.__dict__.copy()
+        for name in ("_dcodes", "_ccodes", "_statuses", "_lengths"):
+            state[name] = self.__dict__[name][: self._n].copy()
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------ #
     # Row access
 
     def __len__(self) -> int:

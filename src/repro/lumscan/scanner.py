@@ -28,14 +28,14 @@ import logging
 import random
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 logger = logging.getLogger("repro.lumscan")
 
-from repro.httpsim.messages import Headers
+from repro.httpsim.messages import BodyPolicy, Headers
 from repro.httpsim.useragent import browser_headers
 from repro.lumscan.engine import ProbeTask, ScanEngine, record_probe
-from repro.lumscan.records import ScanDataset
+from repro.lumscan.records import BODY_KEEP_THRESHOLD, ScanDataset
 from repro.netsim.errors import NoExitAvailable
 from repro.proxynet.luminati import ExitNode, LuminatiClient, ProbeResult
 from repro.util.rng import derive_rng
@@ -50,6 +50,37 @@ class LumscanConfig:
     superproxies: int = 8            # parallel mediating superproxies
     verify_exits: bool = True        # echo-page connectivity pre-check
     max_redirects: int = 10
+
+
+@dataclass(frozen=True)
+class ScannerSpec:
+    """A picklable recipe for rebuilding a scanner in another process.
+
+    Everything that determines a scanner's behaviour is derived from seeds
+    and frozen configs, so shipping this spec (instead of the scanner's
+    megabytes of lazily-built world state) and rebuilding once per worker
+    process yields a replica whose probe outcomes are bit-identical — the
+    same per-task derived-RNG contract that makes thread sharding safe.
+    """
+
+    world_config: object
+    luminati_seed: int
+    exits_per_country: int
+    scanner_seed: int
+    config: LumscanConfig
+    header_items: Tuple[Tuple[str, str], ...]
+    body_policy: Optional[BodyPolicy]
+
+    def build(self) -> "Lumscan":
+        """Construct the scanner replica (called once per worker process)."""
+        from repro.websim.world import World
+
+        world = World(self.world_config)
+        luminati = LuminatiClient(world, seed=self.luminati_seed,
+                                  exits_per_country=self.exits_per_country)
+        return Lumscan(luminati, config=self.config,
+                       headers=Headers(list(self.header_items)),
+                       seed=self.scanner_seed, body_policy=self.body_policy)
 
 
 @dataclass
@@ -71,13 +102,21 @@ class Lumscan:
     def __init__(self, luminati: LuminatiClient,
                  config: Optional[LumscanConfig] = None,
                  headers: Optional[Headers] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 body_policy: Optional[BodyPolicy] = None) -> None:
         self._luminati = luminati
         self._config = config or LumscanConfig()
         self._headers = headers or browser_headers()
         self._seed = seed
         self._rng = derive_rng(seed, "lumscan")
         self._rotation = RotationState()
+        # Scan tasks only keep lengths of large 200-bodies (ScanDataset
+        # drops them past BODY_KEEP_THRESHOLD), so by default they declare
+        # that and let the origin elide exactly those bodies.  Pass
+        # BodyPolicy.full() to force materialization; ad-hoc probe() calls
+        # always materialize.
+        self._task_body_policy = (body_policy if body_policy is not None
+                                  else BodyPolicy.lengths_over(BODY_KEEP_THRESHOLD))
         self.superproxy_loads = [0] * self._config.superproxies
         self._superproxy_cursor = 0
         self._superproxy_lock = threading.Lock()
@@ -100,7 +139,8 @@ class Lumscan:
     def run_task(self, task: ProbeTask) -> ProbeResult:
         """Execute one scan task with its derived RNG (engine entry point)."""
         return self._probe(task.url, task.country, task.epoch,
-                           self.task_rng(task), RotationState())
+                           self.task_rng(task), RotationState(),
+                           body_policy=self._task_body_policy)
 
     def task_rng(self, task: ProbeTask) -> random.Random:
         """The private RNG owned by one scan task.
@@ -114,23 +154,49 @@ class Lumscan:
     def scan(self, urls: Sequence[str], countries: Sequence[str],
              samples: int = 3, epoch: int = 0,
              dataset: Optional[ScanDataset] = None,
-             workers: int = 1) -> ScanDataset:
+             workers: int = 1, executor: str = "thread") -> ScanDataset:
         """Probe every (country, domain) pair ``samples`` times.
 
         Results for a pair are appended contiguously, which downstream
         consumers (``ScanDataset.pairs``) rely on.  ``workers`` > 1 shards
-        the task space across a thread pool via :class:`ScanEngine`; the
-        output is identical to ``workers=1`` regardless of the count.
+        the task space across a worker pool via :class:`ScanEngine`
+        (``executor`` picks threads or processes); the output is identical
+        to ``workers=1`` regardless of count or executor.
         """
-        return ScanEngine(self, workers=workers).scan(
+        return ScanEngine(self, workers=workers, executor=executor).scan(
             urls, countries, samples=samples, epoch=epoch, dataset=dataset)
 
     def resample(self, pairs: Iterable, samples: int, epoch: int = 0,
                  dataset: Optional[ScanDataset] = None,
-                 workers: int = 1) -> ScanDataset:
+                 workers: int = 1, executor: str = "thread") -> ScanDataset:
         """Re-probe specific (domain, country) pairs ``samples`` times."""
-        return ScanEngine(self, workers=workers).resample(
+        return ScanEngine(self, workers=workers, executor=executor).resample(
             pairs, samples, epoch=epoch, dataset=dataset)
+
+    # ------------------------------------------------------------------ #
+    # Process-executor support
+
+    def spawn_spec(self) -> ScannerSpec:
+        """The picklable recipe a worker process rebuilds this scanner from."""
+        luminati = self._luminati
+        return ScannerSpec(
+            world_config=luminati.world.config,
+            luminati_seed=luminati.seed,
+            exits_per_country=luminati.exits_per_country,
+            scanner_seed=self._seed,
+            config=self._config,
+            header_items=tuple(self._headers.items()),
+            body_policy=self._task_body_policy,
+        )
+
+    def worker_counts(self) -> Tuple[int, int]:
+        """(requests, fetches) served so far — delta source for workers."""
+        return (self._luminati.request_count,
+                self._luminati.world.fetch_count)
+
+    def absorb_worker_counts(self, requests: int, fetches: int) -> None:
+        """Fold a worker replica's traffic deltas into this scanner's stats."""
+        self._luminati.absorb_worker_counts(requests, fetches)
 
     # ------------------------------------------------------------------ #
 
@@ -140,7 +206,8 @@ class Lumscan:
         return host[4:] if host.startswith("www.") else host
 
     def _probe(self, url: str, country: str, epoch: int,
-               rng: random.Random, state: RotationState) -> ProbeResult:
+               rng: random.Random, state: RotationState,
+               body_policy: Optional[BodyPolicy] = None) -> ProbeResult:
         attempts = 1 + self._config.retries
         result: Optional[ProbeResult] = None
         for _ in range(attempts):
@@ -161,7 +228,8 @@ class Lumscan:
             self._balance_superproxy()
             result = self._luminati.request(
                 url, country, headers=self._headers, exit_node=state.exit_node,
-                max_redirects=self._config.max_redirects, epoch=epoch, rng=rng)
+                max_redirects=self._config.max_redirects, epoch=epoch, rng=rng,
+                body_policy=body_policy)
             if result.ok:
                 return result
             # Rotate away from the failing exit before retrying.

@@ -25,14 +25,12 @@ Hola VPN users.  The measurement consequences the simulation reproduces:
 
 from __future__ import annotations
 
-import itertools
 import random
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.httpsim.messages import Headers, Request, Response
-from repro.httpsim.url import parse_url
+from repro.httpsim.messages import BodyPolicy, Headers, Request, Response
+from repro.httpsim.url import URL, parse_url
 from repro.httpsim.useragent import browser_headers
 from repro.netsim.errors import (
     ConnectionTimeout,
@@ -42,6 +40,7 @@ from repro.netsim.errors import (
     ProxyError,
 )
 from repro.proxynet.transport import DEFAULT_MAX_REDIRECTS, FetchResult, fetch_with_redirects
+from repro.util.counters import ShardedCounter
 from repro.util.rng import derive_rng
 
 #: Probability that a (domain, country) pair is persistently flaky, as a
@@ -124,14 +123,15 @@ class LuminatiClient:
         self._exits_per_country = exits_per_country
         self._rng = derive_rng(self._seed, "luminati")
         self._exit_cache: Dict[str, List[ExitNode]] = {}
-        self._request_count = 0
-        self._count_lock = threading.Lock()
+        self._request_count = ShardedCounter()
         # Hot-path caches: these predicates are deterministic functions of
         # (seed, domain[, country/exit]), so memoizing them is semantics-
-        # preserving and avoids re-hashing on every probe.
+        # preserving and avoids re-hashing on every probe.  parse_url is a
+        # pure function and probes revisit the same few URLs per domain.
         self._refusal_cache: Dict[str, bool] = {}
         self._flaky_cache: Dict[Tuple[str, str], bool] = {}
         self._fw_cache: Dict[Tuple[str, str], bool] = {}
+        self._url_cache: Dict[str, URL] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -189,17 +189,22 @@ class LuminatiClient:
                 exit_node: Optional[ExitNode] = None,
                 max_redirects: int = DEFAULT_MAX_REDIRECTS,
                 epoch: int = 0,
-                rng: Optional[random.Random] = None) -> ProbeResult:
+                rng: Optional[random.Random] = None,
+                body_policy: Optional[BodyPolicy] = None) -> ProbeResult:
         """Issue one probe from a residential exit in ``country``.
 
         ``rng``, when given, supplies every random draw the probe makes
         (path-failure rolls here, noise and render draws in the world), so
         the outcome is a pure function of the caller's rng state — the
         foundation of the scan engine's order-independent determinism.
+        ``body_policy`` is forwarded to the world (see
+        :meth:`repro.websim.world.World.fetch`).
         """
-        with self._count_lock:
-            self._request_count += 1
-        target = parse_url(url)
+        self._request_count.increment()
+        target = self._url_cache.get(url)
+        if target is None:
+            target = parse_url(url)
+            self._url_cache[url] = target
         domain_name = self._registrable(target.host)
 
         if self._refused(domain_name):
@@ -231,7 +236,8 @@ class LuminatiClient:
         try:
             result: FetchResult = fetch_with_redirects(
                 self._world, request, node.ip,
-                max_redirects=max_redirects, epoch=epoch, rng=rng)
+                max_redirects=max_redirects, epoch=epoch, rng=rng,
+                body_policy=body_policy)
         except FetchError as exc:
             return ProbeResult(url=url, country=country, response=None,
                                error=exc.kind, exit_ip=node.ip,
@@ -242,8 +248,33 @@ class LuminatiClient:
 
     @property
     def request_count(self) -> int:
-        """Total probes issued through this client."""
-        return self._request_count
+        """Total probes issued through this client (workers included)."""
+        return self._request_count.value
+
+    @property
+    def world(self):
+        """The simulated world this client probes."""
+        return self._world
+
+    @property
+    def seed(self) -> int:
+        """The seed all client-side randomness derives from."""
+        return self._seed
+
+    @property
+    def exits_per_country(self) -> int:
+        """Size of each country's exit pool."""
+        return self._exits_per_country
+
+    def absorb_worker_counts(self, requests: int, fetches: int) -> None:
+        """Fold in traffic stats reported by a worker process's replica.
+
+        Process workers run their own client/world pair; their per-chunk
+        deltas land here so ``request_count`` and ``world.fetch_count``
+        stay accurate regardless of executor.
+        """
+        self._request_count.add(requests)
+        self._world.add_external_fetches(fetches)
 
     # ------------------------------------------------------------------ #
 

@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.httpsim.messages import Request, Response
+from repro.httpsim.messages import BodyPolicy, Request, Response
 from repro.netsim.errors import TooManyRedirects
 
 DEFAULT_MAX_REDIRECTS = 10
@@ -34,18 +34,22 @@ class FetchResult:
 def fetch_with_redirects(world, request: Request, client_ip: str,
                          max_redirects: int = DEFAULT_MAX_REDIRECTS,
                          epoch: int = 0,
-                         rng: Optional[random.Random] = None) -> FetchResult:
+                         rng: Optional[random.Random] = None,
+                         body_policy: Optional[BodyPolicy] = None) -> FetchResult:
     """Fetch a URL, following up to ``max_redirects`` redirects.
 
     Raises :class:`TooManyRedirects` when the chain exceeds the limit, or
     propagates any :class:`~repro.netsim.errors.FetchError` from the world.
     ``rng``, when given, scopes every random draw of the whole chain to the
-    caller (see :meth:`repro.websim.world.World.fetch`).
+    caller (see :meth:`repro.websim.world.World.fetch`).  ``body_policy``
+    is forwarded to every hop; only a final large 200 can be elided, since
+    redirects and block pages always materialize.
     """
     chain: List[Response] = []
     current = request
     for _ in range(max_redirects + 1):
-        response = world.fetch(current, client_ip, epoch=epoch, rng=rng)
+        response = world.fetch(current, client_ip, epoch=epoch, rng=rng,
+                               body_policy=body_policy)
         if not response.is_redirect:
             return FetchResult(response=response, chain=chain)
         chain.append(response)

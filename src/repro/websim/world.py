@@ -26,20 +26,30 @@ bit-for-bit reproducible.
 from __future__ import annotations
 
 import random
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.httpsim.messages import Headers, Request, Response
+from repro.httpsim.messages import BodyPolicy, Headers, Request, Response
 from repro.httpsim.useragent import looks_like_browser
 from repro.netsim.dns import DNSServer
 from repro.netsim.errors import ConnectionReset, ConnectionTimeout, FetchError
 from repro.netsim.geoip import GeoIPDatabase
 from repro.netsim.ip import AddressAllocator
+from repro.util.cache import LRUCache
+from repro.util.counters import ShardedCounter
 from repro.util.rng import derive_rng
 from repro.websim import blockpages
 from repro.websim.categories import CategoryTaxonomy
-from repro.websim.content import degrade_page, generate_page, sample_jitter
+from repro.websim.content import (
+    degrade_page,
+    generate_page,
+    jitter_length,
+    jitter_pad,
+    jitter_token,
+    page_length,
+    render_jitter,
+    sample_jitter,
+)
 from repro.websim.countries import CRIMEA, CountryRegistry
 from repro.websim.domains import (
     AKAMAI,
@@ -165,10 +175,15 @@ class World:
 
         self._noise_rng = derive_rng(self.config.seed, "fetch-noise")
         self._render_rng = derive_rng(self.config.seed, "render")
-        self._page_cache: Dict[str, str] = {}
+        # Sized to the population so a full scan never recomputes a page;
+        # the floor keeps small test worlds from thrashing either.
+        self._page_cache: LRUCache[str, str] = LRUCache(
+            capacity=max(self.config.size, 20_000))
+        # Lengths are 28-byte ints — an unbounded dict over the population
+        # is cheaper than any eviction policy could ever be.
+        self._page_length_cache: Dict[str, int] = {}
         self._clearances: Dict[str, set] = {}
-        self.fetch_count = 0
-        self._count_lock = threading.Lock()
+        self._fetch_count = ShardedCounter()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -245,7 +260,8 @@ class World:
     # Fetch
 
     def fetch(self, request: Request, client_ip: str, epoch: int = 0,
-              rng: Optional[random.Random] = None) -> Response:
+              rng: Optional[random.Random] = None,
+              body_policy: Optional[BodyPolicy] = None) -> Response:
         """Serve one HTTP request from the synthetic web.
 
         Raises a :class:`~repro.netsim.errors.FetchError` subclass when the
@@ -257,9 +273,16 @@ class World:
         ``rng`` from the request's identity therefore gets an outcome that
         does not depend on what other traffic the world has served — the
         property the parallel scan engine's determinism contract rests on.
+
+        ``body_policy`` lets a caller that only keeps *lengths* of large
+        200-bodies (the scan pipeline) ask for those bodies to be elided:
+        the response then carries ``body_length`` and an empty ``body``.
+        Elision requires a private ``rng`` — the shared noise stream must
+        see every draw, while a task-private stream is discarded with the
+        probe, so skipping its trailing token draws is unobservable.
+        Block pages, errors, and short pages always materialize.
         """
-        with self._count_lock:
-            self.fetch_count += 1
+        self._fetch_count.increment()
         domain = self._resolve(request.url.host)
         if domain is None:
             raise FetchError(f"could not resolve {request.url.host}")
@@ -312,17 +335,29 @@ class World:
             )
             return response
 
-        # The per-domain base page is a pure function of (seed, domain), so
-        # a concurrent double-compute under threads is benign: both threads
-        # produce and store the identical string.
-        base = self._page_cache.get(domain.name)
-        if base is None:
-            base = generate_page(domain.name, domain.category, seed=self.config.seed)
-            if len(self._page_cache) > 20_000:
-                self._page_cache.clear()
-            self._page_cache[domain.name] = base
         degradation = self.degradations.get(domain.name)
-        if degradation is not None and degradation.applies(seen_country):
+        degraded = degradation is not None and degradation.applies(seen_country)
+        headers = edge_headers
+        headers.add("Content-Type", "text/html; charset=utf-8")
+
+        elide = (body_policy is not None and body_policy.elides
+                 and rng is not None)
+        if elide and not degraded:
+            # Fast lane: the undegraded base length comes from the cached
+            # length-only synthesis — no page string is ever built unless
+            # the jittered result lands under the keep threshold.
+            base_length = self._page_length(domain)
+            pad = jitter_pad(base_length, rng)
+            body_length = jitter_length(base_length, pad)
+            if body_length > body_policy.length_threshold:
+                return Response(status=200, headers=headers, url=request.url,
+                                body_length=body_length)
+            body = render_jitter(self._page(domain), pad, jitter_token(rng))
+            return Response(status=200, headers=headers, body=body,
+                            url=request.url)
+
+        base = self._page(domain)
+        if degraded:
             base = degrade_page(
                 base,
                 remove_account=(seen_country
@@ -330,13 +365,59 @@ class World:
                 price_multiplier=degradation.price_multipliers.get(
                     seen_country, 1.0),
             )
+        if elide:
+            # Degraded combinations are sparse; materializing the base is
+            # unavoidable (price rescaling shifts digit counts), but the
+            # jitter concat can still be skipped for large pages.
+            pad = jitter_pad(len(base), rng)
+            body_length = jitter_length(len(base), pad)
+            if body_length > body_policy.length_threshold:
+                return Response(status=200, headers=headers, url=request.url,
+                                body_length=body_length)
+            body = render_jitter(base, pad, jitter_token(rng))
+            return Response(status=200, headers=headers, body=body,
+                            url=request.url)
         body = sample_jitter(base, rng if rng is not None else self._noise_rng)
-        headers = edge_headers
-        headers.add("Content-Type", "text/html; charset=utf-8")
         return Response(status=200, headers=headers, body=body, url=request.url)
+
+    @property
+    def fetch_count(self) -> int:
+        """Total requests served, including absorbed process-worker fetches."""
+        return self._fetch_count.value
+
+    def add_external_fetches(self, count: int) -> None:
+        """Fold in fetches served by a worker process's world replica."""
+        self._fetch_count.add(count)
 
     # ------------------------------------------------------------------ #
     # Internals
+
+    def _page(self, domain: Domain) -> str:
+        """The domain's canonical (undegraded) front page, cached.
+
+        The page is a pure function of (seed, domain), so a concurrent
+        double-compute under threads is benign: both threads produce and
+        store the identical string.
+        """
+        base = self._page_cache.get(domain.name)
+        if base is None:
+            base = generate_page(domain.name, domain.category,
+                                 seed=self.config.seed)
+            self._page_cache.put(domain.name, base)
+        return base
+
+    def _page_length(self, domain: Domain) -> int:
+        """``len(self._page(domain))`` without materializing the page."""
+        length = self._page_length_cache.get(domain.name)
+        if length is None:
+            cached = self._page_cache.get(domain.name)
+            if cached is not None:
+                length = len(cached)
+            else:
+                length = page_length(domain.name, domain.category,
+                                     seed=self.config.seed)
+            self._page_length_cache[domain.name] = length
+        return length
 
     def _resolve(self, host: str) -> Optional[Domain]:
         name = host.lower()

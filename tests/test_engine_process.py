@@ -1,0 +1,154 @@
+"""Process-parallel scan sharding: byte-identity and plumbing tests.
+
+``ScanEngine(executor="process")`` ships task chunks to worker processes
+that each rebuild the scanner from a picklable :class:`ScannerSpec`.  The
+contract is the same as the thread pool's: the merged dataset is
+identical — same records, same order — to a serial scan, and the parent
+scanner's request/fetch counters account for all worker traffic.
+"""
+
+import pickle
+
+import pytest
+
+from repro.lumscan.engine import EXECUTORS, ScanEngine, scan_tasks
+from repro.lumscan.records import ScanDataset
+from repro.lumscan.scanner import Lumscan, ScannerSpec
+from repro.proxynet.luminati import LuminatiClient
+
+
+def _rows(data):
+    return [data.row(i) for i in range(len(data))]
+
+
+def _clean_urls(world, n):
+    urls = []
+    for domain in world.population:
+        if not domain.dead and not domain.redirect_loop:
+            urls.append(f"http://{domain.name}/")
+            if len(urls) == n:
+                break
+    return urls
+
+
+class _InlineOnlyScanner:
+    """Satisfies Scanner but not SpawnableScanner (no spawn_spec)."""
+
+    def run_task(self, task):  # pragma: no cover - never reached
+        raise AssertionError("should fail before running tasks")
+
+
+class TestExecutorValidation:
+    def test_executors_tuple(self):
+        assert EXECUTORS == ("thread", "process")
+
+    def test_unknown_executor_rejected(self, nano_luminati):
+        with pytest.raises(ValueError):
+            ScanEngine(Lumscan(nano_luminati, seed=3), executor="fork")
+
+    def test_non_spawnable_scanner_rejected(self):
+        engine = ScanEngine(_InlineOnlyScanner(), workers=2, chunk_size=2,
+                            executor="process")
+        with pytest.raises(TypeError, match="spawn_spec"):
+            engine.scan([f"http://d{i}.example.com/" for i in range(8)],
+                        ["US"], samples=1)
+
+
+class TestScannerSpec:
+    def test_spec_pickles_and_rebuilds_identically(self, nano_world):
+        scanner = Lumscan(LuminatiClient(nano_world), seed=21)
+        spec = scanner.spawn_spec()
+        replica = pickle.loads(pickle.dumps(spec)).build()
+        urls = _clean_urls(nano_world, 8)
+        tasks = scan_tasks(urls, ["US", "IR"], samples=2)
+        for task in tasks:
+            assert replica.run_task(task) == scanner.run_task(task)
+
+    def test_spec_is_frozen(self, nano_world):
+        spec = Lumscan(LuminatiClient(nano_world), seed=21).spawn_spec()
+        assert isinstance(spec, ScannerSpec)
+        with pytest.raises(AttributeError):
+            spec.scanner_seed = 99
+
+
+class TestProcessSerialDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self, nano_world):
+        client = LuminatiClient(nano_world)
+        urls = _clean_urls(nano_world, 18)
+        countries = client.countries()[:5]
+        fetches_before = nano_world.fetch_count
+        data = Lumscan(client, seed=11).scan(urls, countries, samples=3)
+        counts = (client.request_count,
+                  nano_world.fetch_count - fetches_before)
+        return urls, countries, data, counts
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_rows_identical_to_serial(self, nano_world, serial, workers):
+        urls, countries, expected, _ = serial
+        client = LuminatiClient(nano_world)
+        engine = ScanEngine(Lumscan(client, seed=11), workers=workers,
+                            chunk_size=16, executor="process")
+        data = engine.scan(urls, countries, samples=3)
+        assert _rows(data) == _rows(expected)
+
+    def test_worker_traffic_absorbed(self, nano_world, serial):
+        urls, countries, _, (serial_requests, serial_fetches) = serial
+        client = LuminatiClient(nano_world)
+        fetches_before = nano_world.fetch_count
+        engine = ScanEngine(Lumscan(client, seed=11), workers=2,
+                            chunk_size=16, executor="process")
+        engine.scan(urls, countries, samples=3)
+        assert client.request_count == serial_requests
+        assert nano_world.fetch_count - fetches_before == serial_fetches
+
+    def test_resample_identical_to_serial(self, nano_world, serial):
+        urls, countries, _, _ = serial
+        pairs = [(url.split("//")[1].rstrip("/"), country)
+                 for country in countries[:3] for url in urls[:6]]
+        client = LuminatiClient(nano_world)
+        expected = Lumscan(client, seed=11).resample(pairs, samples=4, epoch=2)
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=3, chunk_size=5, executor="process")
+        data = engine.resample(pairs, samples=4, epoch=2)
+        assert _rows(data) == _rows(expected)
+
+    def test_process_matches_thread_pool(self, nano_world, serial):
+        urls, countries, expected, _ = serial
+        threaded = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                              workers=4, chunk_size=9,
+                              executor="thread").scan(
+            urls, countries, samples=3)
+        processed = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                               workers=4, chunk_size=9,
+                               executor="process").scan(
+            urls, countries, samples=3)
+        assert _rows(threaded) == _rows(expected)
+        assert _rows(processed) == _rows(expected)
+
+
+class TestDatasetPickle:
+    def test_round_trip_preserves_rows(self, nano_luminati):
+        data = Lumscan(nano_luminati, seed=8).scan(
+            _clean_urls(nano_luminati.world, 10), ["US", "CN"], samples=2)
+        clone = pickle.loads(pickle.dumps(data))
+        assert _rows(clone) == _rows(data)
+
+    def test_pickle_trims_column_buffers(self, nano_luminati):
+        data = Lumscan(nano_luminati, seed=8).scan(
+            _clean_urls(nano_luminati.world, 10), ["US"], samples=2)
+        state = data.__getstate__()
+        for name in ("_dcodes", "_ccodes", "_statuses", "_lengths"):
+            assert len(state[name]) == len(data)
+
+    def test_clone_still_appendable(self, nano_luminati):
+        data = Lumscan(nano_luminati, seed=8).scan(
+            _clean_urls(nano_luminati.world, 6), ["US"], samples=1)
+        clone = pickle.loads(pickle.dumps(data))
+        before = len(clone)
+        clone.append("late.example.com", "BR", 200, 1234, "<html>",
+                     interfered=False)
+        assert len(clone) == before + 1
+        added = clone.row(before)
+        assert (added.domain, added.country, added.status, added.length) == \
+            ("late.example.com", "BR", 200, 1234)

@@ -1,0 +1,82 @@
+"""Unit tests for the hot-path primitives: LRUCache and ShardedCounter."""
+
+import threading
+
+import pytest
+
+from repro.util.cache import LRUCache
+from repro.util.counters import ShardedCounter
+
+
+class TestLRUCache:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", -1) == -1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_eviction_is_bounded_not_total(self):
+        cache = LRUCache(capacity=3)
+        for key in "abcd":
+            cache.put(key, key.upper())
+        # Only the single oldest entry leaves; the rest survive.
+        assert len(cache) == 3
+        assert "a" not in cache
+        assert all(k in cache for k in "bcd")
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        assert "a" in cache  # refreshed, so "b" was the LRU victim
+        assert "b" not in cache
+
+    def test_overwrite_updates_value(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+
+class TestShardedCounter:
+    def test_single_thread_counts(self):
+        counter = ShardedCounter()
+        for _ in range(5):
+            counter.increment()
+        assert counter.value == 5
+
+    def test_concurrent_increments_all_land(self):
+        counter = ShardedCounter()
+        per_thread = 2_000
+
+        def worker():
+            for _ in range(per_thread):
+                counter.increment()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * per_thread
+
+    def test_add_folds_external_batches(self):
+        counter = ShardedCounter()
+        counter.increment()
+        counter.add(41)
+        assert counter.value == 42
+
+    def test_add_rejects_negative(self):
+        counter = ShardedCounter()
+        with pytest.raises(ValueError):
+            counter.add(-1)

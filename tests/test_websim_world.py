@@ -236,3 +236,40 @@ class TestTransientPolicy:
         country = sorted(policy.blocked_countries)[0]
         assert tiny_world.is_geoblocked(name, country, epoch=0)
         assert not tiny_world.is_geoblocked(name, country, epoch=1)
+
+
+class TestPageCache:
+    """Regression for the old all-or-nothing cache flush.
+
+    ``World._page_cache`` used to be a plain dict that was *cleared
+    entirely* once it crossed 20k entries, so a long scan regenerated
+    every page from scratch right after the flush.  It is now a bounded
+    LRU sized to hold the whole population, so steady-state scans compute
+    each page exactly once.
+    """
+
+    def test_each_page_generated_exactly_once(self, monkeypatch):
+        world = World(WorldConfig.nano(seed=3))
+        calls = []
+        import repro.websim.world as world_module
+        real = world_module.generate_page
+        monkeypatch.setattr(world_module, "generate_page",
+                            lambda name, category, seed=0:
+                            calls.append(name) or real(name, category,
+                                                       seed=seed))
+        domains = list(world.population)
+        for _ in range(2):
+            for domain in domains:
+                world._page(domain)
+        assert len(calls) == len(domains)
+        assert len(set(calls)) == len(calls)
+
+    def test_cache_capacity_covers_population(self):
+        world = World(WorldConfig.nano(seed=3))
+        assert world._page_cache.capacity >= max(len(world.population), 20_000)
+
+    def test_page_length_agrees_with_page(self):
+        world = World(WorldConfig.nano(seed=3))
+        for domain in list(world.population)[:40]:
+            # length-first (cold page cache), then materialize and check
+            assert world._page_length(domain) == len(world._page(domain))
