@@ -28,7 +28,7 @@ def save_report(report: ExperimentReport, path: Union[str, os.PathLike]) -> None
                 "columns": table.columns,
                 "rows": table.rows,
             }
-            for key, table in report.tables.items()
+            for key, table in report.tables.items()  # lint: ordered(tables land in deterministic suite order; load_report rebuilds the same order, so sorting would break saved-vs-fresh comparison)
         },
         "figures": {
             key: {
@@ -36,13 +36,13 @@ def save_report(report: ExperimentReport, path: Union[str, os.PathLike]) -> None
                 "x_label": figure.x_label,
                 "y_label": figure.y_label,
                 "series": {name: list(points)
-                           for name, points in figure.series.items()},
+                           for name, points in figure.series.items()},  # lint: ordered(series order is the deterministic add_series order and is legend order on render)
             }
-            for key, figure in report.figures.items()
+            for key, figure in report.figures.items()  # lint: ordered(figures land in deterministic suite order, mirrored by load_report)
         },
         "findings": dict(report.findings),
         "stage_stats": {study: [dict(entry) for entry in entries]
-                        for study, entries in report.stage_stats.items()},
+                        for study, entries in report.stage_stats.items()},  # lint: ordered(stage stats are keyed by deterministic study execution order)
     }
     # Write-to-temp + rename: a crash mid-dump can never truncate an
     # existing report, and readers only ever see complete files.

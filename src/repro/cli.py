@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Optional
 
 from repro.analysis.experiments import ExperimentSuite
 from repro.analysis.report import render_figure, render_table
 from repro.core.pipeline import StudyConfig, run_top10k_study
+from repro.util.clock import Clock, SystemClock
 from repro.websim.world import World, WorldConfig
 
 _SCALES = {
@@ -43,11 +43,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     suite = ExperimentSuite(world, study_config=config,
                             checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume)
-    started = time.time()
+    stopwatch = args.clock.stopwatch()
     report = suite.run(include_top1m=not args.no_top1m,
                        include_vps=not args.no_vps,
                        include_ooni=not args.no_ooni)
-    elapsed = time.time() - started
+    elapsed = stopwatch.elapsed()
     if args.save_json:
         from repro.analysis.store import save_report
         save_report(report, args.save_json)
@@ -166,6 +166,12 @@ def _cmd_stability(args: argparse.Namespace) -> int:
     return 0 if stability.stability_rate() >= 0.8 else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     world = _world(args.scale, args.seed)
     suite = ExperimentSuite(world)
@@ -246,13 +252,31 @@ def build_parser() -> argparse.ArgumentParser:
                            default=[7, 8, 9])
     stability.set_defaults(func=_cmd_stability)
 
+    lint = sub.add_parser(
+        "lint", help="run the determinism/concurrency-purity linter",
+        add_help=False)
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to python -m repro.lint")
+    lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
-def main(argv: Optional[list] = None) -> int:
-    """CLI entry point."""
+def main(argv: Optional[list] = None, clock: Optional[Clock] = None) -> int:
+    """CLI entry point.
+
+    ``clock`` is the injectable time source for elapsed-time reporting;
+    tests pass a frozen :class:`~repro.util.clock.ManualClock`.
+    """
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        # Forward everything verbatim: the lint CLI owns its own parser,
+        # and argparse.REMAINDER will not capture leading option flags.
+        from repro.lint.cli import main as lint_main
+        return lint_main(raw[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
+    args.clock = clock if clock is not None else SystemClock()
     return args.func(args)
 
 

@@ -1,0 +1,314 @@
+"""Per-module AST checks for the determinism rules.
+
+Each check takes a :class:`~repro.lint.visitor.ModuleInfo` and yields raw
+:class:`~repro.lint.report.Finding`\\ s at the rule's default severity;
+tier demotion, suppression matching, and baseline application happen in
+:mod:`repro.lint.engine`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.report import Finding
+from repro.lint.rules import (
+    FS_ENUM_CALLS,
+    FS_ENUM_METHODS,
+    GLOBAL_RANDOM_ALLOWED,
+    GLOBAL_RANDOM_PREFIXES,
+    ORDER_FREE_CONSUMERS,
+    PICKLABLE_CONTAINERS,
+    PICKLABLE_LEAVES,
+    RAW_ENTROPY_CALLS,
+    RAW_ENTROPY_PREFIXES,
+    RULES_BY_ID,
+    SANCTIONED_CLOCK_FILES,
+    SERIALIZATION_FUNCTIONS,
+    SERIALIZATION_SINKS,
+    UNPICKLABLE_LEAVES,
+    WALL_CLOCK_CALLS,
+)
+from repro.lint.visitor import ModuleInfo, _annotation_head, parent_of
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule_id: str,
+             message: str) -> Finding:
+    line = getattr(node, "lineno", 1)
+    return Finding(
+        path=module.path,
+        line=line,
+        column=getattr(node, "col_offset", 0) + 1,
+        rule_id=rule_id,
+        severity=RULES_BY_ID[rule_id].severity,
+        message=message,
+        line_text=module.line_text(line),
+    )
+
+
+def _normalized(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _is_order_free_consumer(node: ast.AST) -> bool:
+    """True when the node is an argument of an order-insensitive call."""
+    parent = parent_of(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        func = parent.func
+        name = func.id if isinstance(func, ast.Name) else None
+        return name in ORDER_FREE_CONSUMERS
+    return False
+
+
+# --------------------------------------------------------------------- #
+# wall-clock / raw-entropy / global-random
+
+def check_clock_and_entropy(module: ModuleInfo) -> List[Finding]:
+    """wall-clock, raw-entropy, and global-random in one AST walk."""
+    findings: List[Finding] = []
+    sanctioned_clock = _normalized(module.path).endswith(SANCTIONED_CLOCK_FILES)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = module.dotted_name(node.func)
+        if dotted is None:
+            continue
+        if dotted in WALL_CLOCK_CALLS and not sanctioned_clock:
+            findings.append(_finding(
+                module, node, "wall-clock",
+                f"{dotted}() reads the process clock; route timing "
+                f"through repro.util.clock.Clock"))
+        elif (dotted in RAW_ENTROPY_CALLS
+                or dotted.startswith(RAW_ENTROPY_PREFIXES)):
+            findings.append(_finding(
+                module, node, "raw-entropy",
+                f"{dotted}() draws OS entropy; derive randomness with "
+                f"repro.util.rng.derive_rng instead"))
+        elif (dotted.startswith(GLOBAL_RANDOM_PREFIXES)
+                and dotted not in GLOBAL_RANDOM_ALLOWED):
+            findings.append(_finding(
+                module, node, "global-random",
+                f"{dotted}() draws from the shared global stream; use a "
+                f"generator from repro.util.rng.derive_rng"))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# fs-order
+
+def check_fs_order(module: ModuleInfo) -> List[Finding]:
+    """Unsorted filesystem enumeration."""
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = module.dotted_name(node.func)
+        enum_name: Optional[str] = None
+        if dotted in FS_ENUM_CALLS:
+            enum_name = dotted
+        elif isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in FS_ENUM_METHODS:
+                enum_name = f"<path>.{attr}"
+            elif attr == "glob" and (dotted is None
+                                     or not dotted.startswith("glob.")):
+                enum_name = "<path>.glob"
+        if enum_name is None:
+            continue
+        parent = parent_of(node)
+        if (isinstance(parent, ast.Call) and node in parent.args
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in ORDER_FREE_CONSUMERS):
+            continue
+        findings.append(_finding(
+            module, node, "fs-order",
+            f"{enum_name}() enumerates in filesystem order; wrap the "
+            f"call in sorted(...)"))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# iter-order
+
+_DICT_VIEWS = ("items", "keys", "values")
+_SET_HEADS = ("set", "frozenset")
+_SET_ANNOTATIONS = ("Set", "FrozenSet", "set", "frozenset", "MutableSet")
+_SET_METHODS = ("union", "intersection", "difference",
+                "symmetric_difference")
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _function_nodes(tree: ast.Module) -> Iterable[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+def _calls_serialization_sink(module: ModuleInfo,
+                              func: ast.FunctionDef) -> bool:
+    if func.name in SERIALIZATION_FUNCTIONS:
+        return True
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = module.dotted_name(node.func)
+        if dotted is None:
+            continue
+        if dotted in SERIALIZATION_SINKS:
+            return True
+        if dotted.rsplit(".", 1)[-1] in SERIALIZATION_SINKS:
+            return True
+    return False
+
+
+def _set_names(func: ast.FunctionDef) -> Set[str]:
+    """Local names statically known to hold sets."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and _is_set_expr(node.value, names):
+                names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            head = _annotation_head(node.annotation)
+            if head in _SET_ANNOTATIONS:
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_HEADS:
+            return True
+        if (isinstance(func, ast.Attribute) and func.attr in _SET_METHODS
+                and _is_set_expr(func.value, set_names)):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    return False
+
+
+def _iterated_position(node: ast.AST) -> bool:
+    """True when the expression's order is observed by its consumer."""
+    parent = parent_of(node)
+    if isinstance(parent, ast.For) and parent.iter is node:
+        return True
+    if isinstance(parent, ast.comprehension) and parent.iter is node:
+        return True
+    if (isinstance(parent, ast.Call) and node in parent.args
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ("list", "tuple", "iter",
+                                   "enumerate", "reversed")):
+        return True
+    return False
+
+
+def check_iter_order(module: ModuleInfo) -> List[Finding]:
+    """Unordered iteration inside serialization contexts."""
+    findings: List[Finding] = []
+    for func in _function_nodes(module.tree):
+        if not _calls_serialization_sink(module, func):
+            continue
+        set_names = _set_names(func)
+        for node in ast.walk(func):
+            hazard: Optional[str] = None
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _DICT_VIEWS
+                    and not node.args):
+                hazard = (f".{node.func.attr}() iteration order is the "
+                          f"mapping's insertion order")
+            elif _is_set_expr(node, set_names):
+                hazard = "set iteration order depends on PYTHONHASHSEED"
+            if hazard is None or not _iterated_position(node):
+                continue
+            if _is_order_free_consumer(node):
+                continue
+            ordered = module.ordered_on(node.lineno)
+            if ordered is not None:
+                ordered.used = True
+                continue
+            findings.append(_finding(
+                module, node, "iter-order",
+                f"{hazard}, and this function serializes; wrap in "
+                f"sorted(...) or document the guarantee with "
+                f"# lint: ordered(<reason>)"))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# spec-pickle
+
+def _annotation_problem(node: ast.AST,
+                        project_classes: Set[str]) -> Optional[str]:
+    """Why an annotation is not statically picklable (None when fine)."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is Ellipsis:
+            return None
+        if isinstance(node.value, str):
+            head = node.value.split("[", 1)[0].strip().rsplit(".", 1)[-1]
+            return _head_problem(head, project_classes)
+        return None
+    if isinstance(node, ast.Subscript):
+        head = _annotation_head(node.value) or _annotation_head(node)
+        problem = _head_problem(head, project_classes)
+        if problem:
+            return problem
+        elements = node.slice
+        children = (elements.elts if isinstance(elements, ast.Tuple)
+                    else [elements])
+        for child in children:
+            problem = _annotation_problem(child, project_classes)
+            if problem:
+                return problem
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return _head_problem(_annotation_head(node), project_classes)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604 unions: X | Y
+        return (_annotation_problem(node.left, project_classes)
+                or _annotation_problem(node.right, project_classes))
+    return None
+
+
+def _head_problem(head: Optional[str],
+                  project_classes: Set[str]) -> Optional[str]:
+    if head is None:
+        return "annotation cannot be resolved statically"
+    if head in UNPICKLABLE_LEAVES:
+        return f"{head} cannot be guaranteed picklable"
+    if head in PICKLABLE_LEAVES or head in PICKLABLE_CONTAINERS:
+        return None
+    if head in project_classes:
+        return None
+    return f"unknown type {head!r} cannot be verified picklable"
+
+
+def check_spec_pickle(module: ModuleInfo,
+                      project_classes: Set[str]) -> List[Finding]:
+    """*Spec dataclasses must have statically picklable fields."""
+    findings: List[Finding] = []
+    for info in module.classes.values():
+        if not (info.is_dataclass and info.name.endswith("Spec")):
+            continue
+        for item in info.node.body:
+            if not isinstance(item, ast.AnnAssign):
+                continue
+            if not isinstance(item.target, ast.Name):
+                continue
+            problem = _annotation_problem(item.annotation, project_classes)
+            if problem is None:
+                continue
+            findings.append(_finding(
+                module, item, "spec-pickle",
+                f"{info.name}.{item.target.id}: {problem} (specs are "
+                f"pickled into process workers)"))
+    return findings

@@ -1,0 +1,135 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-geoblock lint``.
+
+Exit codes (CI semantics)::
+
+    0   no active error findings (warnings and baselined findings allowed)
+    1   at least one active error finding
+    2   usage error (bad paths, unreadable baseline)
+
+Examples::
+
+    python -m repro.lint                      # lint the default targets
+    python -m repro.lint src/repro            # one tree, error tier
+    python -m repro.lint --format json --out lint-report.json
+    python -m repro.lint --write-baseline     # grandfather current findings
+    python -m repro.lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.config import BASELINE_FILENAME, LintConfig, find_repo_root
+from repro.lint.engine import analyze_paths
+from repro.lint.report import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    Baseline,
+    exit_code,
+    render_json,
+    render_text,
+)
+from repro.lint.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The lint CLI parser (also mounted under ``repro-geoblock lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static determinism & concurrency-purity analysis "
+                    "for the repro pipeline.",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: "
+                             "src/repro at the blocking error tier plus "
+                             "benchmarks/ and scripts/ at the warn tier)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--out", default=None,
+                        help="write the report to a file instead of stdout")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: <repo-root>/"
+                             f"{BASELINE_FILENAME} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the baseline grandfathering every "
+                             "current finding, then exit 0")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also show suppressed and baselined findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in RULES:
+        lines.append(f"{rule.rule_id:18s} [{rule.severity}] {rule.summary}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+
+    selected = None
+    if args.select:
+        selected = tuple(part.strip() for part in args.select.split(",")
+                         if part.strip())
+    try:
+        config = LintConfig.for_paths(
+            args.paths,
+            baseline_path=args.baseline,
+            use_baseline=not (args.no_baseline or args.write_baseline),
+            selected_rules=selected,
+        )
+        findings = analyze_paths(config)
+    except FileNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        target = args.baseline
+        if target is None:
+            root = find_repo_root(args.paths[0] if args.paths
+                                  else os.getcwd())
+            if root is None:
+                print("repro.lint: cannot locate repo root for the "
+                      "baseline; pass --baseline", file=sys.stderr)
+                return EXIT_USAGE
+            target = os.path.join(root, BASELINE_FILENAME)
+        Baseline.from_findings(findings).dump(target)
+        print(f"baseline written to {target} "
+              f"({len([f for f in findings if not f.suppressed])} "
+              f"finding(s) grandfathered)")
+        return EXIT_CLEAN
+
+    if args.format == "json":
+        text = render_json(findings, rule_ids=config.selected_rules)
+    else:
+        text = render_text(findings, verbose=args.verbose)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return exit_code(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,11 @@ class ScanDataset:
     round trip (JSON, merge, inter-process) without fragmenting runs.
     """
 
+    # Each engine worker appends to its own shard-local dataset; shards
+    # are merged in the parent via extend(), so no instance is ever
+    # written from two threads.
+    # lint: confined(per-worker shards merged in parent)
+
     def __init__(self) -> None:
         # Categorical code tables: string -> code, and code -> string.
         self._domain_code: Dict[str, int] = {}

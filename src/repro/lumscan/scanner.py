@@ -39,6 +39,7 @@ from repro.lumscan.records import BODY_KEEP_THRESHOLD, ScanDataset
 from repro.netsim.errors import NoExitAvailable
 from repro.proxynet.luminati import ExitNode, LuminatiClient, ProbeResult
 from repro.util.rng import derive_rng
+from repro.websim.world import WorldConfig
 
 
 @dataclass(frozen=True)
@@ -63,7 +64,7 @@ class ScannerSpec:
     same per-task derived-RNG contract that makes thread sharding safe.
     """
 
-    world_config: object
+    world_config: WorldConfig
     luminati_seed: int
     exits_per_country: int
     scanner_seed: int

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.netsim.ip import Netblock
+from repro.util.cache import MemoDict
 from repro.util.rng import derive_rng, stable_hash
 
 
@@ -42,8 +43,10 @@ class GeoIPDatabase:
         self._countries: List[str] = []
         # Lookups are deterministic per address (including error modelling),
         # so results are memoized; registering new space invalidates them.
-        self._lookup_cache: Dict[str, Optional[GeoEntry]] = {}
-        self._true_cache: Dict[str, Optional[GeoEntry]] = {}
+        # Registration only happens at world build time, before any worker
+        # runs, so the memo tables only fill (idempotently) under scans.
+        self._lookup_cache: MemoDict[str, Optional[GeoEntry]] = MemoDict()
+        self._true_cache: MemoDict[str, Optional[GeoEntry]] = MemoDict()
 
     def register(self, block: Netblock, country: str, region: Optional[str] = None) -> None:
         """Record that ``block`` geolocates to ``country`` (and ``region``)."""

@@ -40,6 +40,7 @@ from repro.netsim.errors import (
     ProxyError,
 )
 from repro.proxynet.transport import DEFAULT_MAX_REDIRECTS, FetchResult, fetch_with_redirects
+from repro.util.cache import MemoDict
 from repro.util.counters import ShardedCounter
 from repro.util.rng import derive_rng
 
@@ -122,16 +123,18 @@ class LuminatiClient:
         self._seed = world.config.seed if seed is None else seed
         self._exits_per_country = exits_per_country
         self._rng = derive_rng(self._seed, "luminati")
-        self._exit_cache: Dict[str, List[ExitNode]] = {}
+        self._exit_cache: MemoDict[str, List[ExitNode]] = MemoDict()
         self._request_count = ShardedCounter()
-        # Hot-path caches: these predicates are deterministic functions of
-        # (seed, domain[, country/exit]), so memoizing them is semantics-
-        # preserving and avoids re-hashing on every probe.  parse_url is a
-        # pure function and probes revisit the same few URLs per domain.
-        self._refusal_cache: Dict[str, bool] = {}
-        self._flaky_cache: Dict[Tuple[str, str], bool] = {}
-        self._fw_cache: Dict[Tuple[str, str], bool] = {}
-        self._url_cache: Dict[str, URL] = {}
+        # Hot-path memo tables: these predicates are deterministic
+        # functions of (seed, domain[, country/exit]), so memoizing them
+        # is semantics-preserving and avoids re-hashing on every probe.
+        # parse_url is a pure function and probes revisit the same few
+        # URLs per domain.  MemoDict marks the idempotent-write contract
+        # that makes these safe to fill from scan workers.
+        self._refusal_cache: MemoDict[str, bool] = MemoDict()
+        self._flaky_cache: MemoDict[Tuple[str, str], bool] = MemoDict()
+        self._fw_cache: MemoDict[Tuple[str, str], bool] = MemoDict()
+        self._url_cache: MemoDict[str, URL] = MemoDict()
 
     # ------------------------------------------------------------------ #
 

@@ -42,14 +42,15 @@ def encode_artifact(value: Any) -> Any:
         return {_TAG: "tuple", "items": [encode_artifact(i) for i in value]}
     if isinstance(value, Counter):
         return {_TAG: "counter",
-                "items": [[encode_artifact(k), v] for k, v in value.items()]}
+                "items": [[encode_artifact(k), v]
+                          for k, v in value.items()]}  # lint: ordered(Counter tie-breaking observes insertion order; decode rebuilds it from item order, so sorting would break fresh-vs-resumed byte identity)
     if isinstance(value, (set, frozenset)):
         return {_TAG: "set",
                 "items": sorted(encode_artifact(i) for i in value)}
     if isinstance(value, dict):
         return {_TAG: "dict",
                 "items": [[encode_artifact(k), encode_artifact(v)]
-                          for k, v in value.items()]}
+                          for k, v in value.items()]}  # lint: ordered(dict insertion order is part of the artifact contract — decode rebuilds it from encoded item order)
     if isinstance(value, Sample):
         return {_TAG: "sample", "domain": value.domain,
                 "country": value.country, "status": value.status,
@@ -80,12 +81,12 @@ def encode_artifact(value: Any) -> Any:
         return {_TAG: "population", "tested": value.tested,
                 "customers": [[provider, sorted(domains)]
                               for provider, domains
-                              in value.customers.items()]}
+                              in value.customers.items()]}  # lint: ordered(provider insertion order is deterministic discovery order and is rebuilt by decode; domain sets are sorted)
     if isinstance(value, DomainConsistency):
         return {_TAG: "consistency", "domain": value.domain,
                 "page_type": value.page_type,
                 "country_rates": [[c, r]
-                                  for c, r in value.country_rates.items()],
+                                  for c, r in value.country_rates.items()],  # lint: ordered(rate-map insertion order is deterministic scan order and round-trips through decode)
                 "countries_tested": value.countries_tested}
     raise TypeError(f"cannot encode artifact of type {type(value).__name__}")
 

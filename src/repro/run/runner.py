@@ -19,12 +19,12 @@ artifacts they would have recomputed.
 from __future__ import annotations
 
 import logging
-import time
 from typing import Dict, Optional, Sequence
 
 from repro.lumscan.records import ScanDataset
 from repro.run.artifacts import ArtifactStore
 from repro.run.stage import RunContext, Stage, StageStats
+from repro.util.clock import SYSTEM_CLOCK, Clock
 
 logger = logging.getLogger("repro.run")
 
@@ -34,7 +34,8 @@ class StudyRunner:
 
     def __init__(self, study: str, stages: Sequence[Stage],
                  store: Optional[ArtifactStore] = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 clock: Optional[Clock] = None) -> None:
         names = [stage.name for stage in stages]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate stage names in {names}")
@@ -42,6 +43,7 @@ class StudyRunner:
         self._stages = list(stages)
         self._store = store
         self._resume = resume and store is not None
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
 
     @property
     def stages(self) -> Sequence[Stage]:
@@ -50,7 +52,7 @@ class StudyRunner:
     def run(self, context: RunContext) -> RunContext:
         """Run every stage in order, skipping complete checkpoints."""
         for stage in self._stages:
-            started = time.perf_counter()
+            stopwatch = self._clock.stopwatch()
             probes_before = context.probes_issued()
             manifest = self._store.manifest(stage) if self._resume else None
             if manifest is not None:
@@ -64,7 +66,7 @@ class StudyRunner:
                         f"stage {stage.name!r} did not produce declared "
                         f"artifacts: {sorted(missing)}")
                 cache_hit = False
-            seconds = time.perf_counter() - started
+            seconds = stopwatch.elapsed()
             probes = context.probes_issued() - probes_before
             if self._store is not None and not cache_hit:
                 self._store.save_stage(stage, outputs,

@@ -1,5 +1,14 @@
 """Shared utilities: deterministic RNG derivation and small helpers."""
 
+from repro.util.clock import Clock, ManualClock, Stopwatch, SystemClock
 from repro.util.rng import derive_rng, derive_seed, stable_hash
 
-__all__ = ["derive_rng", "derive_seed", "stable_hash"]
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "Stopwatch",
+    "SystemClock",
+    "derive_rng",
+    "derive_seed",
+    "stable_hash",
+]

@@ -68,3 +68,29 @@ class LRUCache(Generic[K, V]):
 
     def __contains__(self, key: object) -> bool:
         return key in self._data
+
+
+class MemoDict(Dict[K, V]):
+    """An unbounded memo table for pure-function results.
+
+    A plain ``dict`` subclass, so reads/writes keep their GIL-atomicity
+    and zero overhead.  The type exists as a *contract*: entries must be
+    idempotent — ``memo[k] = f(k)`` for a pure ``f`` — so concurrent
+    double-computes race benignly (both writers store the same value)
+    and a worker mutating one never changes observable output.  The
+    ``shared-mutation`` lint rule sanctions writes to a MemoDict on
+    worker paths for exactly that reason; reach for it instead of a bare
+    ``dict`` whenever a cache is touched from :class:`ScanEngine`
+    workers, and for :class:`LRUCache` when the table must stay bounded.
+    """
+
+    __slots__ = ()
+
+    def memoize(self, key: K, compute) -> V:
+        """Return ``self[key]``, computing and storing it on a miss."""
+        try:
+            return self[key]
+        except KeyError:
+            value = compute()
+            self[key] = value
+            return value

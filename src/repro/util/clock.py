@@ -1,0 +1,80 @@
+"""The sanctioned boundary between the repo and real time.
+
+Everything downstream of a study must be a pure function of
+``(seed, config)``; reading the process clock anywhere else makes output
+depend on *when* the code ran.  The ``wall-clock`` lint rule therefore
+bans direct ``time.*``/``datetime.*`` reads across ``src/repro`` — this
+module is the single exemption, and every consumer takes an injectable
+:class:`Clock` so tests can freeze time and replayed runs stay
+byte-comparable.
+
+:class:`SystemClock` reads the monotonic performance counter (elapsed
+time can never go backwards across NTP steps); :class:`ManualClock` is
+the frozen test double — it only moves when :meth:`ManualClock.advance`
+is called.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Injectable monotonic clock (base implementation reads the OS)."""
+
+    def monotonic(self) -> float:
+        """Current monotonic reading, in seconds."""
+        return time.perf_counter()
+
+    def stopwatch(self) -> "Stopwatch":
+        """Start a stopwatch at the current reading."""
+        return Stopwatch(self)
+
+
+class SystemClock(Clock):
+    """The real process clock (alias of the base for explicit naming)."""
+
+
+class ManualClock(Clock):
+    """A frozen clock for tests: advances only when told to.
+
+    Timing code driven by a ManualClock is fully deterministic — stage
+    stats, report footers, and benchmark plumbing can be asserted
+    byte-for-byte.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (negative steps are rejected)."""
+        if seconds < 0:
+            raise ValueError(f"clock cannot move backwards ({seconds})")
+        self._now += seconds
+
+
+class Stopwatch:
+    """Elapsed-seconds helper bound to a :class:`Clock`."""
+
+    __slots__ = ("_clock", "_started")
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._started = clock.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last restart)."""
+        return self._clock.monotonic() - self._started
+
+    def restart(self) -> float:
+        """Reset the origin; returns the elapsed time that was discarded."""
+        elapsed = self.elapsed()
+        self._started = self._clock.monotonic()
+        return elapsed
+
+
+#: Shared default instance for call sites without an injected clock.
+SYSTEM_CLOCK = SystemClock()

@@ -35,7 +35,7 @@ from repro.netsim.dns import DNSServer
 from repro.netsim.errors import ConnectionReset, ConnectionTimeout, FetchError
 from repro.netsim.geoip import GeoIPDatabase
 from repro.netsim.ip import AddressAllocator
-from repro.util.cache import LRUCache
+from repro.util.cache import LRUCache, MemoDict
 from repro.util.counters import ShardedCounter
 from repro.util.rng import derive_rng
 from repro.websim import blockpages
@@ -179,10 +179,12 @@ class World:
         # the floor keeps small test worlds from thrashing either.
         self._page_cache: LRUCache[str, str] = LRUCache(
             capacity=max(self.config.size, 20_000))
-        # Lengths are 28-byte ints — an unbounded dict over the population
-        # is cheaper than any eviction policy could ever be.
-        self._page_length_cache: Dict[str, int] = {}
-        self._clearances: Dict[str, set] = {}
+        # Lengths are 28-byte ints — an unbounded memo over the population
+        # is cheaper than any eviction policy could ever be.  Clearance
+        # grants are add-only and commutative, so both tables satisfy the
+        # MemoDict idempotent-write contract on worker paths.
+        self._page_length_cache: MemoDict[str, int] = MemoDict()
+        self._clearances: MemoDict[str, set] = MemoDict()
         self._fetch_count = ShardedCounter()
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,95 @@
+"""Artifact encoding must be byte-identical across interpreter runs.
+
+Checkpoint resume diffs re-encoded artifacts against the bytes a fresh
+run produces; any hash-seed or iteration-order dependence in
+``encode_artifact`` (or ``save_report``) would make that comparison
+flap.  These tests run the encoder in subprocesses with *different*
+``PYTHONHASHSEED`` values — the harshest practical perturbation of
+set/dict iteration order — and assert the output bytes match.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+_ENCODE_SCRIPT = r"""
+import json
+import sys
+from collections import Counter
+
+from repro.core.identify import CDNPopulation
+from repro.run.codecs import encode_artifact
+
+population = CDNPopulation(tested=6)
+for provider, domain in [("cloudflare", "zeta.example"),
+                         ("cloudflare", "alpha.example"),
+                         ("akamai", "mid.example"),
+                         ("fastly", "omega.example")]:
+    population.customers.setdefault(provider, set()).add(domain)
+
+artifact = {
+    "counts": Counter({"US": 3, "RU": 2, "CN": 2, "IR": 1}),
+    "flags": {"gamma", "beta", "alpha", "delta"},
+    "pair": ("left", ("nested", frozenset({"y", "x"}))),
+    "population": population,
+    "rates": {"b.example": 0.5, "a.example": 1.0},
+}
+sys.stdout.write(json.dumps(encode_artifact(artifact), sort_keys=False))
+"""
+
+
+def _encode_with_hash_seed(seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", _ENCODE_SCRIPT],
+        capture_output=True, env=env, check=True)
+    return result.stdout
+
+
+def test_encoding_is_hash_seed_independent():
+    first = _encode_with_hash_seed("1")
+    second = _encode_with_hash_seed("2")
+    assert first, "encoder produced no output"
+    assert first == second
+
+
+def test_encoding_is_stable_across_repeat_runs():
+    assert _encode_with_hash_seed("42") == _encode_with_hash_seed("42")
+
+
+def test_encoded_sets_are_sorted():
+    import json
+
+    payload = json.loads(_encode_with_hash_seed("1"))
+    assert payload["__repro__"] == "dict"
+    entries = dict((key, value) for key, value in payload["items"])
+    flags = entries["flags"]
+    assert flags["__repro__"] == "set"
+    assert flags["items"] == sorted(flags["items"])
+    customers = entries["population"]["customers"]
+    for _provider, domains in customers:
+        assert domains == sorted(domains)
+
+
+def test_dict_and_counter_order_round_trips():
+    """Insertion order is the contract: encode preserves it, decode
+    rebuilds it — that is *why* the lint ``ordered()`` annotations in
+    codecs.py are correct and ``sorted()`` would be a bug."""
+    from collections import Counter
+
+    from repro.run.codecs import decode_artifact, encode_artifact
+
+    counter = Counter()
+    for country in ["US", "RU", "CN", "IR"]:
+        counter[country] = 2  # equal counts: most_common order is insertion
+    mapping = {"zeta": 1, "alpha": 2, "mid": 3}
+    rebuilt_counter = decode_artifact(encode_artifact(counter))
+    rebuilt_mapping = decode_artifact(encode_artifact(mapping))
+    assert list(rebuilt_counter) == list(counter)
+    assert rebuilt_counter.most_common() == counter.most_common()
+    assert list(rebuilt_mapping) == list(mapping)

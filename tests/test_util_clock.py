@@ -1,0 +1,67 @@
+"""The injectable clock: frozen in tests, monotonic in production."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.clock import SYSTEM_CLOCK, Clock, ManualClock, Stopwatch, SystemClock
+
+
+def test_manual_clock_is_frozen_until_advanced():
+    clock = ManualClock()
+    assert clock.monotonic() == 0.0
+    assert clock.monotonic() == 0.0
+    clock.advance(2.5)
+    assert clock.monotonic() == 2.5
+
+
+def test_manual_clock_rejects_backward_steps():
+    clock = ManualClock(start=10.0)
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+    assert clock.monotonic() == 10.0
+
+
+def test_stopwatch_measures_manual_advances_exactly():
+    clock = ManualClock()
+    stopwatch = clock.stopwatch()
+    assert stopwatch.elapsed() == 0.0
+    clock.advance(1.5)
+    assert stopwatch.elapsed() == 1.5
+    clock.advance(0.5)
+    assert stopwatch.elapsed() == 2.0
+
+
+def test_stopwatch_restart_returns_discarded_elapsed():
+    clock = ManualClock()
+    stopwatch = Stopwatch(clock)
+    clock.advance(3.0)
+    assert stopwatch.restart() == 3.0
+    assert stopwatch.elapsed() == 0.0
+    clock.advance(1.0)
+    assert stopwatch.elapsed() == 1.0
+
+
+def test_system_clock_never_goes_backwards():
+    clock = SystemClock()
+    readings = [clock.monotonic() for _ in range(100)]
+    assert readings == sorted(readings)
+
+
+def test_module_singleton_is_a_system_clock():
+    assert isinstance(SYSTEM_CLOCK, SystemClock)
+    assert isinstance(SYSTEM_CLOCK, Clock)
+
+
+def test_study_runner_accepts_injected_clock():
+    """StageStats timing is driven by the injected clock, so a frozen
+    ManualClock yields exactly-zero stage seconds — fully deterministic."""
+    from repro.run.runner import StudyRunner
+    from repro.run.stage import ArtifactSpec, RunContext, Stage
+
+    stage = Stage(name="noop", outputs=(ArtifactSpec(name="value"),),
+                  run=lambda context: {"value": 41})
+    runner = StudyRunner("test", [stage], clock=ManualClock())
+    context = runner.run(RunContext(world=None, config=None))
+    assert context.artifacts["value"] == 41
+    assert [stats.seconds for stats in context.stats] == [0.0]
