@@ -39,7 +39,8 @@ def _world(scale: str, seed: int) -> World:
 def _cmd_run(args: argparse.Namespace) -> int:
     world = _world(args.scale, args.seed)
     config = StudyConfig(seed=args.seed, workers=max(1, args.workers),
-                         executor=args.executor)
+                         executor=args.executor, exchange=args.exchange,
+                         target_chunk_ms=max(0, args.target_chunk_ms))
     suite = ExperimentSuite(world, study_config=config,
                             checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume)
@@ -218,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="scan-engine pool shape; 'process' sidesteps the "
                           "GIL for the CPU-bound simulated probes "
                           "(default: thread)")
+    run.add_argument("--exchange", default="auto",
+                     choices=("auto", "shm", "file", "pickle"),
+                     help="process-worker result transport: columnar shard "
+                          "segments in shared memory or spill files, or the "
+                          "legacy whole-dataset pickle; 'auto' prefers "
+                          "shared memory (default: auto)")
+    run.add_argument("--target-chunk-ms", type=int, default=250,
+                     help="autotune process chunks toward this wall-time "
+                          "per chunk; 0 keeps a fixed chunk size "
+                          "(default: 250)")
     run.set_defaults(func=_cmd_run)
 
     top10k = sub.add_parser("top10k", help="run only the Top-10K study")

@@ -95,6 +95,8 @@ class StudyConfig:
     seed: int = 0
     workers: int = 1                  # scan-engine pool width (1 = inline)
     executor: str = "thread"          # scan-engine pool shape (or "process")
+    exchange: str = "auto"            # worker→parent result transport
+    target_chunk_ms: int = 250        # chunk autotune target (0 = fixed)
 
 
 def registry_salt(registry: Optional[FingerprintRegistry]) -> str:
@@ -119,6 +121,22 @@ def _study_store(checkpoint_dir: Optional[str], study: str,
         return None
     return ArtifactStore(checkpoint_dir, study, config, world.config,
                          salt=salt)
+
+
+def _build_engine(scanner: Lumscan, cfg: StudyConfig,
+                  store: Optional[ArtifactStore]) -> ScanEngine:
+    """The study's scan engine, spilling shard files under its store.
+
+    When the study checkpoints, file-mode shard segments live inside the
+    checkpoint directory (one ``lshd-*`` session dir per scan, removed on
+    exchange close) so large spills land on the same volume the operator
+    provisioned for run state rather than in the system temp dir.
+    """
+    target = cfg.target_chunk_ms / 1000.0 if cfg.target_chunk_ms else None
+    return ScanEngine(scanner, workers=cfg.workers, executor=cfg.executor,
+                      exchange=cfg.exchange,
+                      spill_dir=store.directory if store else None,
+                      target_chunk_seconds=target)
 
 
 # ===================================================================== #
@@ -352,11 +370,9 @@ def run_top10k_study(world: World,
     cfg = config or StudyConfig()
     lum = luminati or LuminatiClient(world)
     scanner = Lumscan(lum, config=lumscan_config, seed=cfg.seed)
-    engine = ScanEngine(scanner, workers=cfg.workers,
-                        executor=cfg.executor)
-
     store = _study_store(checkpoint_dir, "top10k", cfg, world,
                          salt=registry_salt(catalog))
+    engine = _build_engine(scanner, cfg, store)
     runner = StudyRunner("top10k", top10k_stages(), store=store,
                          resume=resume)
     ctx = RunContext(world=world, config=cfg, scanner=engine,
@@ -600,12 +616,10 @@ def run_top1m_study(world: World,
     cfg = config or StudyConfig()
     lum = luminati or LuminatiClient(world)
     scanner = Lumscan(lum, seed=cfg.seed)
-    engine = ScanEngine(scanner, workers=cfg.workers,
-                        executor=cfg.executor)
     reg = registry or FingerprintRegistry.default()
-
     store = _study_store(checkpoint_dir, "top1m", cfg, world,
                          salt=registry_salt(reg))
+    engine = _build_engine(scanner, cfg, store)
     runner = StudyRunner("top1m", top1m_stages(), store=store, resume=resume)
     ctx = RunContext(world=world, config=cfg, scanner=engine,
                      extras={"luminati": lum, "registry": reg},

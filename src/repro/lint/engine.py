@@ -205,14 +205,20 @@ class _CallGraph:
             if isinstance(receiver, ast.Name):
                 type_name = param_types.get(receiver.id)
                 if type_name is None:
-                    # module.function() style call
-                    dotted = module.dotted_name(target)
-                    if dotted is not None and "." in dotted:
-                        source_mod, attr = dotted.rsplit(".", 1)
-                        other = self._modules.get(source_mod)
-                        if other is not None and attr in other.functions:
-                            edges.append((source_mod, None, attr))
-                            continue
+                    if receiver.id in module.import_aliases:
+                        # module.function() style call.  A module receiver
+                        # is never a project method call, so resolve it as
+                        # a function or not at all — without the continue,
+                        # the unique-method fallback below would alias
+                        # stdlib calls (os.remove) onto same-named project
+                        # methods (Headers.remove).
+                        dotted = module.dotted_name(target)
+                        if dotted is not None and "." in dotted:
+                            source_mod, attr = dotted.rsplit(".", 1)
+                            other = self._modules.get(source_mod)
+                            if other is not None and attr in other.functions:
+                                edges.append((source_mod, None, attr))
+                        continue
             elif (isinstance(receiver, ast.Attribute)
                     and isinstance(receiver.value, ast.Name)
                     and receiver.value.id == "self" and cls):

@@ -189,12 +189,14 @@ SERIALIZATION_SINKS = frozenset({
     "json.dump", "json.dumps",
     "encode_artifact", "dump_dataset", "save_report",
     "_atomic_write_json",
+    "encode_shard", "write_shard", "decode_shard",
 })
 
 #: Functions whose own body *is* a serializer (context even without a
 #: direct sink call in the body).
 SERIALIZATION_FUNCTIONS = frozenset({
     "encode_artifact", "dump_dataset", "save_report",
+    "encode_shard", "write_shard", "decode_shard",
 })
 
 #: Entry points of the scan-engine worker surface.  Reachability for the

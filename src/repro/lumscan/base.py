@@ -9,7 +9,14 @@ protocol rather than either concrete class — the former stringly-typed
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import (
+    Iterable,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.lumscan.records import ScanDataset
 
@@ -54,6 +61,12 @@ class SpawnableScanner(Protocol):
         """(requests, fetches) served so far — the delta source."""
         ...
 
-    def absorb_worker_counts(self, requests: int, fetches: int) -> None:
-        """Fold worker-replica traffic deltas into this scanner's stats."""
+    def absorb_worker_counts(self, requests: int, fetches: int,
+                             token: Optional[str] = None) -> None:
+        """Fold worker-replica traffic deltas into this scanner's stats.
+
+        ``token`` names the batch of deltas; implementations must reject
+        (or treat as a no-op) a token they have already absorbed, so a
+        retried chunk can never double-count traffic totals.
+        """
         ...

@@ -23,29 +23,79 @@ real tool's latency-bound profile.  The *simulated* transport, however,
 never blocks — a thread pool is GIL-bound and buys little — so
 ``executor="process"`` ships task chunks to a ``ProcessPoolExecutor``:
 each worker process rebuilds the scanner once from a picklable
-:class:`~repro.lumscan.scanner.ScannerSpec`, runs its chunks, and returns
-compact columnar per-chunk datasets that the parent merges in chunk order
-via :meth:`ScanDataset.extend`.  The same two mechanisms above make the
-merged result bit-identical to serial.
+:class:`~repro.lumscan.scanner.ScannerSpec` and runs chunks carved from
+the canonical task order.  Three mechanisms keep the process pool's
+merge path off the critical path:
+
+* **Columnar shard exchange** (default): workers serialize chunk
+  results into flat binary segments (:mod:`repro.lumscan.shards` —
+  shared-memory blocks or mmap-able spill files) and return only a tiny
+  handle; the parent maps each segment and bulk-extends with zero row
+  decode.  ``exchange="pickle"`` keeps the legacy whole-dataset pickle
+  path for comparison.
+* **Streaming merge**: chunk results are consumed *as they complete*
+  (``FIRST_COMPLETED`` waits plus a :class:`ChunkReorderBuffer` that
+  restores chunk-sequence order), so the parent never barriers on the
+  pool and holds at most a bounded window of unmerged shards — parent
+  memory stays flat.  Because merges still happen in sequence order,
+  the merged bytes are identical to serial for any completion order.
+* **Latency-driven chunk autotuning**: a :class:`ChunkAutotuner` sizes
+  the next chunk from the observed probes/s so each chunk lands near a
+  target wall-time (amortizing dispatch without starving the stream).
+  Timing flows through the injectable :class:`repro.util.clock.Clock`,
+  so tests drive it deterministically — and chunk boundaries never
+  affect output bytes in the first place.
 """
 
 from __future__ import annotations
 
+import itertools
 import logging
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 logger = logging.getLogger("repro.lumscan.engine")
 
 from repro.lumscan.records import NO_RESPONSE, ScanDataset
+from repro.lumscan.shards import (
+    EXCHANGE_MODES,
+    ExchangeSpec,
+    ShardExchange,
+    ShardHandle,
+    open_shard,
+    release_shard,
+    write_shard,
+)
+from repro.util.clock import SYSTEM_CLOCK, Clock
 
 #: Tasks per work unit handed to the pool.  Small enough that the pool
-#: load-balances uneven chunks, large enough to amortize dispatch.
+#: load-balances uneven chunks, large enough to amortize dispatch.  The
+#: process executor treats this as the *initial* size and autotunes from
+#: there (see :class:`ChunkAutotuner`).
 DEFAULT_CHUNK_SIZE = 64
 
 #: Valid ``ScanEngine(executor=...)`` values.
 EXECUTORS = ("thread", "process")
+
+#: Valid ``ScanEngine(exchange=...)`` values: the shard transports plus
+#: the legacy whole-dataset pickle return path.
+EXCHANGES = EXCHANGE_MODES + ("pickle",)
+
+#: Outstanding chunks per worker: enough that a worker finishing early
+#: always has a queued chunk, small enough to bound unmerged backlog.
+PIPELINE_DEPTH = 2
+
+#: Default autotuning target: wall-time one chunk should take.
+DEFAULT_TARGET_CHUNK_SECONDS = 0.25
+
+#: Monotonic ids for stat-absorption tokens (see absorb_worker_counts).
+_ABSORB_BATCH_IDS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -108,23 +158,134 @@ def record_probe(data: ScanDataset, domain: str, country: str, result) -> None:
         data.append(domain, country, NO_RESPONSE, 0, None, error=result.error)
 
 
+class ChunkReorderBuffer:
+    """Reassembles out-of-order chunk completions into sequence order.
+
+    Workers may finish chunks in any order; merge order must be chunk
+    sequence order for the dataset bytes to match serial.  ``push``
+    accepts a completed chunk by sequence number, ``pop_ready`` drains
+    the contiguous prefix.  A sequence number can be pushed exactly
+    once — a duplicate (e.g. a retried chunk) is rejected, so the same
+    chunk's rows and stats can never be merged twice.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._held: Dict[int, object] = {}
+
+    @property
+    def pending(self) -> int:
+        """Completed-but-unmerged chunks currently buffered."""
+        return len(self._held)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next ``pop_ready`` item must carry."""
+        return self._next
+
+    def push(self, seq: int, item) -> None:
+        """Buffer chunk ``seq``'s payload (duplicates are rejected)."""
+        if seq < self._next or seq in self._held:
+            raise ValueError(f"chunk {seq} was already merged or buffered")
+        self._held[seq] = item
+
+    def pop_ready(self) -> List:
+        """Remove and return the contiguous ready prefix, in order."""
+        ready: List = []
+        while self._next in self._held:
+            ready.append(self._held.pop(self._next))
+            self._next += 1
+        return ready
+
+    def drain(self) -> List:
+        """Remove and return everything held (error-path cleanup)."""
+        items = [self._held[seq] for seq in sorted(self._held)]
+        self._held.clear()
+        return items
+
+
+class ChunkAutotuner:
+    """Latency-driven chunk sizing: resize toward a target wall-time.
+
+    Each completed chunk reports ``(tasks, elapsed_seconds)``; the tuner
+    keeps an exponentially-smoothed probes/s estimate and proposes
+    ``rate * target_seconds`` tasks for the next chunk, clamped to at
+    most double/halve per observation so one noisy chunk cannot whipsaw
+    the stream.  The tuner is a pure function of the observations it is
+    fed — driven by a :class:`~repro.util.clock.ManualClock` (elapsed
+    values under test control, or frozen at zero) it is fully
+    deterministic, and chunk boundaries never affect output bytes.
+    """
+
+    def __init__(self, initial: int,
+                 target_seconds: Optional[float] = None,
+                 min_size: int = 8, max_size: int = 8192,
+                 smoothing: float = 0.5) -> None:
+        if initial < 1:
+            raise ValueError(f"initial chunk size must be >= 1, got {initial}")
+        self._size = initial
+        self._target = float(target_seconds or 0.0)
+        self._min = min_size
+        self._max = max_size
+        self._smoothing = smoothing
+        self._rate: Optional[float] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a target is set (no target = fixed chunk size)."""
+        return self._target > 0.0
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Smoothed observed probes/s (None before any observation)."""
+        return self._rate
+
+    def chunk_size(self) -> int:
+        """Tasks the next submitted chunk should carry."""
+        return self._size
+
+    def record(self, tasks: int, elapsed: float) -> None:
+        """Fold in one completed chunk's observed latency."""
+        if not self.enabled or tasks <= 0 or elapsed <= 0.0:
+            return
+        rate = tasks / elapsed
+        self._rate = rate if self._rate is None else (
+            self._smoothing * rate + (1.0 - self._smoothing) * self._rate)
+        proposed = int(round(self._rate * self._target))
+        proposed = min(proposed, self._size * 2)
+        proposed = max(proposed, self._size // 2)
+        self._size = max(self._min, min(self._max, proposed))
+
+
 # Module-level worker state for the process executor: each worker process
 # builds its scanner replica once (in the pool initializer) and tracks the
 # traffic counts it last reported, so every chunk returns exact deltas.
 _WORKER_SCANNER = None
 _WORKER_COUNTS = (0, 0)
+_WORKER_EXCHANGE: Optional[ExchangeSpec] = None
+_WORKER_CLOCK: Clock = SYSTEM_CLOCK
 
 
-def _process_worker_init(spec) -> None:
-    global _WORKER_SCANNER, _WORKER_COUNTS
+def _process_worker_init(spec, exchange_spec: Optional[ExchangeSpec],
+                         clock: Clock) -> None:
+    global _WORKER_SCANNER, _WORKER_COUNTS, _WORKER_EXCHANGE, _WORKER_CLOCK
     _WORKER_SCANNER = spec.build()
     _WORKER_COUNTS = _WORKER_SCANNER.worker_counts()
+    _WORKER_EXCHANGE = exchange_spec
+    _WORKER_CLOCK = clock
 
 
-def _process_run_chunk(chunk: List[ProbeTask]):
-    """Run one chunk in a worker: columnar results + traffic deltas."""
+def _process_run_chunk(seq: int, chunk: List[ProbeTask]):
+    """Run one chunk in a worker.
+
+    Returns ``(seq, payload, request_delta, fetch_delta, tasks,
+    elapsed)`` where ``payload`` is a :class:`ShardHandle` under the
+    shard exchange (the rows stay in the segment) or a trimmed columnar
+    :class:`ScanDataset` under the legacy pickle exchange.
+    """
     global _WORKER_COUNTS
     scanner = _WORKER_SCANNER
+    stopwatch = _WORKER_CLOCK.stopwatch()
     data = ScanDataset()
     run = scanner.run_task
     for task in chunk:
@@ -132,7 +293,13 @@ def _process_run_chunk(chunk: List[ProbeTask]):
     requests, fetches = scanner.worker_counts()
     prev_requests, prev_fetches = _WORKER_COUNTS
     _WORKER_COUNTS = (requests, fetches)
-    return data, requests - prev_requests, fetches - prev_fetches
+    elapsed = stopwatch.elapsed()
+    if _WORKER_EXCHANGE is None:
+        payload = data
+    else:
+        payload = write_shard(data.export_columns(), _WORKER_EXCHANGE, seq)
+    return (seq, payload, requests - prev_requests,
+            fetches - prev_fetches, len(chunk), elapsed)
 
 
 class ScanEngine:
@@ -145,7 +312,12 @@ class ScanEngine:
 
     def __init__(self, scanner, workers: int = 1,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 executor: str = "thread") -> None:
+                 executor: str = "thread",
+                 exchange: str = "auto",
+                 spill_dir: Optional[str] = None,
+                 target_chunk_seconds: Optional[float] =
+                 DEFAULT_TARGET_CHUNK_SECONDS,
+                 clock: Optional[Clock] = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
@@ -153,10 +325,17 @@ class ScanEngine:
         if executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if exchange not in EXCHANGES:
+            raise ValueError(
+                f"exchange must be one of {EXCHANGES}, got {exchange!r}")
         self._scanner = scanner
         self._workers = workers
         self._chunk_size = chunk_size
         self._executor = executor
+        self._exchange = exchange
+        self._spill_dir = spill_dir
+        self._target_chunk_seconds = target_chunk_seconds
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
 
     @property
     def workers(self) -> int:
@@ -167,6 +346,11 @@ class ScanEngine:
     def executor(self) -> str:
         """Configured pool shape ("thread" or "process")."""
         return self._executor
+
+    @property
+    def exchange(self) -> str:
+        """Configured worker-result transport ("auto"/"shm"/"file"/"pickle")."""
+        return self._exchange
 
     # ------------------------------------------------------------------ #
 
@@ -199,12 +383,12 @@ class ScanEngine:
                              self._scanner.run_task(task))
             return data
 
+        if self._executor == "process":
+            return self._execute_processes(tasks, data)
         chunks = [tasks[i:i + self._chunk_size]
                   for i in range(0, len(tasks), self._chunk_size)]
         logger.debug("engine: %d tasks in %d chunks over %d %s workers",
                      len(tasks), len(chunks), self._workers, self._executor)
-        if self._executor == "process":
-            return self._execute_processes(chunks, data)
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
             # Executor.map yields chunk results in submission order, so the
             # merge below reproduces the serial record order exactly even
@@ -218,7 +402,7 @@ class ScanEngine:
         run = self._scanner.run_task
         return [(task, run(task)) for task in chunk]
 
-    def _execute_processes(self, chunks: List[List[ProbeTask]],
+    def _execute_processes(self, tasks: List[ProbeTask],
                            data: ScanDataset) -> ScanDataset:
         scanner = self._scanner
         spawn = getattr(scanner, "spawn_spec", None)
@@ -228,17 +412,99 @@ class ScanEngine:
                 f"(spawn_spec/worker_counts/absorb_worker_counts); "
                 f"{type(scanner).__name__} has no spawn_spec")
         spec = spawn()
+        exchange = None if self._exchange == "pickle" else \
+            ShardExchange(self._exchange, spill_dir=self._spill_dir)
+        tuner = ChunkAutotuner(initial=self._chunk_size,
+                               target_seconds=self._target_chunk_seconds)
+        buffer = ChunkReorderBuffer()
+        pending: Dict[object, int] = {}   # future -> chunk sequence number
         requests = fetches = 0
-        with ProcessPoolExecutor(max_workers=self._workers,
-                                 initializer=_process_worker_init,
-                                 initargs=(spec,)) as pool:
-            # Chunk results arrive in submission order (Executor.map), and
-            # extend() reconciles code tables in first-seen order, so the
-            # merged dataset is byte-identical to a serial scan.
-            for chunk_data, request_delta, fetch_delta in pool.map(
-                    _process_run_chunk, chunks):
-                data.extend(chunk_data)
-                requests += request_delta
-                fetches += fetch_delta
-        scanner.absorb_worker_counts(requests, fetches)
+        cursor = 0
+        seq = 0
+        logger.debug("engine: %d tasks over %d process workers "
+                     "(exchange=%s, autotune=%s)", len(tasks), self._workers,
+                     self._exchange, tuner.enabled)
+        try:
+            exchange_spec = None if exchange is None else \
+                exchange.open().spec()
+            with ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=_process_worker_init,
+                    initargs=(spec, exchange_spec, self._clock)) as pool:
+
+                def submit_next() -> bool:
+                    nonlocal cursor, seq
+                    if cursor >= len(tasks):
+                        return False
+                    chunk = tasks[cursor:cursor + tuner.chunk_size()]
+                    pending[pool.submit(_process_run_chunk, seq, chunk)] = seq
+                    cursor += len(chunk)
+                    seq += 1
+                    return True
+
+                # Keep a bounded window of outstanding chunks: workers stay
+                # saturated, the parent never holds more than
+                # workers * PIPELINE_DEPTH unmerged results.
+                for _ in range(self._workers * PIPELINE_DEPTH):
+                    if not submit_next():
+                        break
+                # Stream-merge as chunks complete (any completion order);
+                # the reorder buffer restores sequence order, and
+                # extend_columns interns code tables in first-seen row
+                # order, so the merged dataset is byte-identical to a
+                # serial scan.
+                while pending:
+                    done, _ = wait(set(pending),
+                                   return_when=FIRST_COMPLETED)
+                    for future in done:
+                        pending.pop(future)
+                        (chunk_seq, payload, request_delta, fetch_delta,
+                         n_tasks, elapsed) = future.result()
+                        tuner.record(n_tasks, elapsed)
+                        buffer.push(chunk_seq,
+                                    (payload, request_delta, fetch_delta))
+                        submit_next()
+                    for payload, request_delta, fetch_delta in \
+                            buffer.pop_ready():
+                        self._merge_payload(data, payload)
+                        requests += request_delta
+                        fetches += fetch_delta
+        finally:
+            # Error path: nothing below may leak a segment.  Unmerged
+            # buffered shards, plus shards from futures that completed
+            # after the failure, are released; closing the exchange then
+            # removes the spill session directory wholesale.
+            for payload, _, _ in buffer.drain():
+                self._discard_payload(payload)
+            for future in pending:
+                if future.cancel():
+                    continue
+                try:
+                    result = future.result()
+                except Exception:
+                    continue
+                self._discard_payload(result[1])
+            if exchange is not None:
+                exchange.close()
+        scanner.absorb_worker_counts(
+            requests, fetches,
+            token=f"engine-batch-{next(_ABSORB_BATCH_IDS)}")
         return data
+
+    @staticmethod
+    def _merge_payload(data: ScanDataset, payload) -> None:
+        """Fold one chunk's result into the parent dataset."""
+        if isinstance(payload, ShardHandle):
+            try:
+                with open_shard(payload) as reader:
+                    data.extend_columns(reader.columns)
+            finally:
+                release_shard(payload)
+        else:
+            data.extend(payload)
+
+    @staticmethod
+    def _discard_payload(payload) -> None:
+        """Release a chunk result without merging it (error paths)."""
+        if isinstance(payload, ShardHandle):
+            release_shard(payload)

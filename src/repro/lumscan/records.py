@@ -1,10 +1,11 @@
 """Compact columnar storage for scan results.
 
 A full Top-10K study is 8,003 domains × 177 countries × 3 samples ≈ 4.2M
-records, so :class:`ScanDataset` is a genuine column store: domain and
-country are integer-coded categoricals (a code table of unique strings
-plus an int32 index array per column), status and length live in numpy
-arrays, and bodies sit in a sparse side table.  Bodies are retained only
+records, so :class:`ScanDataset` is a genuine column store: domain,
+country, and error kind are integer-coded categoricals (a code table of
+unique strings plus an integer index array per column), status and
+length live in numpy arrays, and bodies sit in a sparse side table.
+Bodies are retained only
 when they can possibly matter to the pipeline — non-200 responses and
 short pages (every CDN block page, captcha, and challenge is well under
 the threshold); multi-hundred-KB origin pages keep only their length,
@@ -22,7 +23,17 @@ too.  Scalar reference implementations of every kernel are retained in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Collection,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -31,6 +42,9 @@ BODY_KEEP_THRESHOLD = 6_000
 
 #: Sentinel status for failed probes (no HTTP response).
 NO_RESPONSE = 0
+
+#: Error-code sentinel for rows that carried an HTTP response.
+NO_ERROR = -1
 
 _INITIAL_CAPACITY = 64
 
@@ -53,6 +67,32 @@ class Sample:
         return self.status != NO_RESPONSE
 
 
+@dataclass(frozen=True)
+class ShardColumns:
+    """A dataset's columns as one flat, transport-ready bundle.
+
+    This is the exchange currency between :class:`ScanDataset` and the
+    shard codec in :mod:`repro.lumscan.shards`: five fixed-dtype row
+    columns, three string code tables, and the two sparse side tables.
+    :meth:`ScanDataset.export_columns` produces one (zero-copy views over
+    the live buffers — treat it as a frozen snapshot, invalidated by
+    further appends) and :meth:`ScanDataset.extend_columns` consumes one,
+    so a merge never needs the source ``ScanDataset`` object itself.
+    """
+
+    n: int                           # row count (arrays are exactly this long)
+    dcodes: np.ndarray               # int32 domain code per row
+    ccodes: np.ndarray               # int32 country code per row
+    statuses: np.ndarray             # int16 HTTP status per row
+    lengths: np.ndarray              # int64 body length per row
+    ecodes: np.ndarray               # int16 error code per row (NO_ERROR = ok)
+    domain_names: Sequence[str]      # domain code table, first-seen order
+    country_names: Sequence[str]     # country code table, first-seen order
+    error_names: Sequence[str]       # error-kind code table, first-seen order
+    bodies: Mapping[int, str]        # retained bodies keyed by row index
+    interfered: Collection[int]      # row indices flagged as interfered
+
+
 class ScanDataset:
     """Column-oriented collection of :class:`Sample` records.
 
@@ -68,20 +108,25 @@ class ScanDataset:
     # written from two threads.
     # lint: confined(per-worker shards merged in parent)
 
+    #: Growable numpy row columns, in canonical shard order.
+    COLUMN_BUFFERS = ("_dcodes", "_ccodes", "_statuses", "_lengths", "_ecodes")
+
     def __init__(self) -> None:
         # Categorical code tables: string -> code, and code -> string.
         self._domain_code: Dict[str, int] = {}
         self._domain_names: List[str] = []
         self._country_code: Dict[str, int] = {}
         self._country_names: List[str] = []
+        self._error_code: Dict[str, int] = {}
+        self._error_names: List[str] = []
         # Row columns (growable numpy buffers; valid rows are [:_n]).
         self._n = 0
         self._dcodes = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
         self._ccodes = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
         self._statuses = np.empty(_INITIAL_CAPACITY, dtype=np.int16)
         self._lengths = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._ecodes = np.empty(_INITIAL_CAPACITY, dtype=np.int16)
         # Sparse side tables.
-        self._errors: List[Optional[str]] = []
         self._bodies: Dict[int, str] = {}
         self._interfered: Set[int] = set()
 
@@ -93,7 +138,7 @@ class ScanDataset:
         if capacity <= current:
             return
         new = max(capacity, current * 2)
-        for name in ("_dcodes", "_ccodes", "_statuses", "_lengths"):
+        for name in self.COLUMN_BUFFERS:
             old = getattr(self, name)
             grown = np.empty(new, dtype=old.dtype)
             grown[: self._n] = old[: self._n]
@@ -120,7 +165,8 @@ class ScanDataset:
                                            self._country_names, country)
         self._statuses[index] = status
         self._lengths[index] = length
-        self._errors.append(error)
+        self._ecodes[index] = NO_ERROR if error is None else \
+            self._intern(self._error_code, self._error_names, error)
         if body is not None and (status != 200 or length <= BODY_KEEP_THRESHOLD):
             self._bodies[index] = body
         if interfered:
@@ -134,28 +180,73 @@ class ScanDataset:
         dataset's tables (one dict lookup per *unique* label), then the
         row columns are copied in bulk — no per-row Python work.
         """
-        m = len(other)
+        self.extend_columns(other.export_columns())
+
+    def export_columns(self) -> ShardColumns:
+        """This dataset's columns as a flat :class:`ShardColumns` bundle.
+
+        The arrays are read-only zero-copy views over the live buffers
+        (trimmed to the valid prefix) and the tables are the live
+        containers; the bundle is a snapshot that later appends to this
+        dataset invalidate.  This is the export half of the shard
+        exchange — the shard codec serializes exactly these fields.
+        """
+        return ShardColumns(
+            n=self._n,
+            dcodes=self._view(self._dcodes),
+            ccodes=self._view(self._ccodes),
+            statuses=self._view(self._statuses),
+            lengths=self._view(self._lengths),
+            ecodes=self._view(self._ecodes),
+            domain_names=self._domain_names,
+            country_names=self._country_names,
+            error_names=self._error_names,
+            bodies=self._bodies,
+            interfered=self._interfered,
+        )
+
+    def extend_columns(self, cols: ShardColumns) -> None:
+        """Append all rows of a :class:`ShardColumns` bundle.
+
+        The import half of the shard exchange: categorical codes are
+        remapped through this dataset's tables (one dict lookup per
+        *unique* label), then the row columns are copied in bulk — no
+        per-row Python work.  Appending bundles in chunk-sequence order
+        reproduces a serial scan bit-for-bit, because code tables intern
+        labels in first-seen row order.
+        """
+        m = cols.n
         if m == 0:
             return
         offset = self._n
         dmap = np.fromiter(
             (self._intern(self._domain_code, self._domain_names, name)
-             for name in other._domain_names),
-            dtype=np.int32, count=len(other._domain_names))
+             for name in cols.domain_names),
+            dtype=np.int32, count=len(cols.domain_names))
         cmap = np.fromiter(
             (self._intern(self._country_code, self._country_names, name)
-             for name in other._country_names),
-            dtype=np.int32, count=len(other._country_names))
+             for name in cols.country_names),
+            dtype=np.int32, count=len(cols.country_names))
         self._reserve(offset + m)
-        self._dcodes[offset:offset + m] = dmap[other._dcodes[:m]]
-        self._ccodes[offset:offset + m] = cmap[other._ccodes[:m]]
-        self._statuses[offset:offset + m] = other._statuses[:m]
-        self._lengths[offset:offset + m] = other._lengths[:m]
-        self._errors.extend(other._errors)
-        for idx, body in other._bodies.items():
+        self._dcodes[offset:offset + m] = dmap[cols.dcodes[:m]]
+        self._ccodes[offset:offset + m] = cmap[cols.ccodes[:m]]
+        self._statuses[offset:offset + m] = cols.statuses[:m]
+        self._lengths[offset:offset + m] = cols.lengths[:m]
+        ecodes = cols.ecodes[:m]
+        if len(cols.error_names):
+            emap = np.fromiter(
+                (self._intern(self._error_code, self._error_names, name)
+                 for name in cols.error_names),
+                dtype=np.int16, count=len(cols.error_names))
+            self._ecodes[offset:offset + m] = np.where(
+                ecodes == NO_ERROR, np.int16(NO_ERROR),
+                emap[np.maximum(ecodes, 0)])
+        else:
+            self._ecodes[offset:offset + m] = ecodes
+        for idx, body in cols.bodies.items():
             self._bodies[offset + idx] = body
-        if other._interfered:
-            self._interfered.update(offset + idx for idx in other._interfered)
+        if cols.interfered:
+            self._interfered.update(offset + idx for idx in cols.interfered)
         self._n = offset + m
 
     # ------------------------------------------------------------------ #
@@ -166,7 +257,7 @@ class ScanDataset:
         # processes return many small chunk datasets, and the empty
         # over-allocated capacity would otherwise dominate the pickle.
         state = self.__dict__.copy()
-        for name in ("_dcodes", "_ccodes", "_statuses", "_lengths"):
+        for name in self.COLUMN_BUFFERS:
             state[name] = self.__dict__[name][: self._n].copy()
         return state
 
@@ -189,7 +280,7 @@ class ScanDataset:
             status=int(self._statuses[index]),
             length=int(self._lengths[index]),
             body=self._bodies.get(index),
-            error=self._errors[index],
+            error=self.error(index),
             interfered=index in self._interfered,
         )
 
@@ -203,7 +294,8 @@ class ScanDataset:
 
     def error(self, index: int) -> Optional[str]:
         """The error kind at ``index`` (None for HTTP responses)."""
-        return self._errors[index]
+        code = self._ecodes[index]
+        return None if code == NO_ERROR else self._error_names[code]
 
     # ------------------------------------------------------------------ #
     # Columnar views (read-only; shared with the analysis kernels)

@@ -195,9 +195,15 @@ class Lumscan:
         return (self._luminati.request_count,
                 self._luminati.world.fetch_count)
 
-    def absorb_worker_counts(self, requests: int, fetches: int) -> None:
-        """Fold a worker replica's traffic deltas into this scanner's stats."""
-        self._luminati.absorb_worker_counts(requests, fetches)
+    def absorb_worker_counts(self, requests: int, fetches: int,
+                             token: Optional[str] = None) -> None:
+        """Fold a worker replica's traffic deltas into this scanner's stats.
+
+        ``token``, when given, identifies the batch of deltas; absorbing
+        the same token twice raises, so a retried chunk can never
+        double-count traffic totals.
+        """
+        self._luminati.absorb_worker_counts(requests, fetches, token=token)
 
     # ------------------------------------------------------------------ #
 

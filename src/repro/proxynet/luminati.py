@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.httpsim.messages import BodyPolicy, Headers, Request, Response
 from repro.httpsim.url import URL, parse_url
@@ -125,6 +125,8 @@ class LuminatiClient:
         self._rng = derive_rng(self._seed, "luminati")
         self._exit_cache: MemoDict[str, List[ExitNode]] = MemoDict()
         self._request_count = ShardedCounter()
+        # Absorption tokens already folded in (duplicate-batch guard).
+        self._absorbed_tokens: Set[str] = set()
         # Hot-path memo tables: these predicates are deterministic
         # functions of (seed, domain[, country/exit]), so memoizing them
         # is semantics-preserving and avoids re-hashing on every probe.
@@ -269,13 +271,22 @@ class LuminatiClient:
         """Size of each country's exit pool."""
         return self._exits_per_country
 
-    def absorb_worker_counts(self, requests: int, fetches: int) -> None:
+    def absorb_worker_counts(self, requests: int, fetches: int,
+                             token: Optional[str] = None) -> None:
         """Fold in traffic stats reported by a worker process's replica.
 
         Process workers run their own client/world pair; their per-chunk
         deltas land here so ``request_count`` and ``world.fetch_count``
-        stay accurate regardless of executor.
+        stay accurate regardless of executor.  A ``token`` marks the
+        batch: absorbing a token that was already absorbed raises
+        ``ValueError`` before any counter moves, so a retried or
+        replayed chunk cannot double-count totals.
         """
+        if token is not None:
+            if token in self._absorbed_tokens:
+                raise ValueError(
+                    f"worker stats batch {token!r} was already absorbed")
+            self._absorbed_tokens.add(token)
         self._request_count.add(requests)
         self._world.add_external_fetches(fetches)
 

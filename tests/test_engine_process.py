@@ -4,16 +4,24 @@
 that each rebuild the scanner from a picklable :class:`ScannerSpec`.  The
 contract is the same as the thread pool's: the merged dataset is
 identical — same records, same order — to a serial scan, and the parent
-scanner's request/fetch counters account for all worker traffic.
+scanner's request/fetch counters account for all worker traffic.  The
+shard exchange adds two more: the merged bytes stay identical under any
+chunk completion order, and no shard segment outlives the scan — not
+even when a worker blows up mid-run.
 """
 
+import os
 import pickle
+import time
 
 import pytest
 
-from repro.lumscan.engine import EXECUTORS, ScanEngine, scan_tasks
+import repro.lumscan.engine as engine_mod
+from repro.lumscan.engine import EXECUTORS, EXCHANGES, ScanEngine, scan_tasks
 from repro.lumscan.records import ScanDataset
 from repro.lumscan.scanner import Lumscan, ScannerSpec
+from repro.lumscan.serialize import dump_dataset
+from repro.lumscan.shards import shm_available
 from repro.proxynet.luminati import LuminatiClient
 
 
@@ -138,7 +146,7 @@ class TestDatasetPickle:
         data = Lumscan(nano_luminati, seed=8).scan(
             _clean_urls(nano_luminati.world, 10), ["US"], samples=2)
         state = data.__getstate__()
-        for name in ("_dcodes", "_ccodes", "_statuses", "_lengths"):
+        for name in ScanDataset.COLUMN_BUFFERS:
             assert len(state[name]) == len(data)
 
     def test_clone_still_appendable(self, nano_luminati):
@@ -152,3 +160,168 @@ class TestDatasetPickle:
         added = clone.row(before)
         assert (added.domain, added.country, added.status, added.length) == \
             ("late.example.com", "BR", 200, 1234)
+
+
+# --------------------------------------------------------------------- #
+# Shard exchange
+
+def _encoded(data, tmp_path, name):
+    """Serialized dataset bytes (gzip with mtime=0 — content-pure)."""
+    path = str(tmp_path / f"{name}.jsonl.gz")
+    dump_dataset(data, path)
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+_REAL_RUN_CHUNK = engine_mod._process_run_chunk
+
+
+def _inverted_run_chunk(seq, chunk):
+    """Chunk runner that forces completion in reverse sequence order.
+
+    Early chunks sleep longest, so within the engine's in-flight window
+    the highest sequence number always completes first — the adversarial
+    case for the reorder buffer.  Fork-started workers inherit the
+    monkeypatched module state, and the pool pickles this function by
+    reference, so the patch applies inside workers too.
+    """
+    time.sleep(max(0, 8 - seq) * 0.05)
+    return _REAL_RUN_CHUNK(seq, chunk)
+
+
+def _exploding_run_chunk(seq, chunk):
+    """Chunk runner that fails on the third chunk, after shards exist."""
+    if seq == 2:
+        raise RuntimeError("chunk 2 exploded")
+    time.sleep(0.02 * seq)
+    return _REAL_RUN_CHUNK(seq, chunk)
+
+
+def _exchanges():
+    modes = ["file", "pickle"]
+    if shm_available():
+        modes.insert(0, "shm")
+    return modes
+
+
+class TestShardExchange:
+    def test_exchanges_tuple(self):
+        assert EXCHANGES == ("auto", "shm", "file", "pickle")
+
+    def test_unknown_exchange_rejected(self, nano_luminati):
+        with pytest.raises(ValueError):
+            ScanEngine(Lumscan(nano_luminati, seed=3), exchange="carrier")
+
+    @pytest.fixture(scope="class")
+    def serial(self, nano_world):
+        client = LuminatiClient(nano_world)
+        urls = _clean_urls(nano_world, 14)
+        countries = client.countries()[:4]
+        data = Lumscan(client, seed=11).scan(urls, countries, samples=3)
+        return urls, countries, data
+
+    @pytest.mark.parametrize("exchange", _exchanges())
+    def test_every_exchange_is_byte_identical_to_serial(
+            self, nano_world, serial, tmp_path, exchange):
+        urls, countries, expected = serial
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=16, executor="process",
+                            exchange=exchange, spill_dir=str(tmp_path))
+        data = engine.scan(urls, countries, samples=3)
+        assert _encoded(data, tmp_path, exchange) == \
+            _encoded(expected, tmp_path, "serial")
+
+    def test_reverse_completion_order_is_byte_identical(
+            self, nano_world, serial, tmp_path, monkeypatch):
+        # Force chunks to complete in reverse order; the reorder buffer
+        # must still merge them in sequence order, byte for byte.
+        urls, countries, expected = serial
+        monkeypatch.setattr(engine_mod, "_process_run_chunk",
+                            _inverted_run_chunk)
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=3, chunk_size=24, executor="process",
+                            spill_dir=str(tmp_path),
+                            target_chunk_seconds=None)
+        data = engine.scan(urls, countries, samples=3)
+        assert _encoded(data, tmp_path, "inverted") == \
+            _encoded(expected, tmp_path, "serial")
+
+    def test_worker_failure_leaves_no_segments(self, nano_world, serial,
+                                               tmp_path, monkeypatch):
+        # A worker exception mid-scan must release every shard already
+        # written — buffered, in flight, or still on disk — and remove
+        # the spill session directory under the checkpoint dir.
+        urls, countries, _ = serial
+        monkeypatch.setattr(engine_mod, "_process_run_chunk",
+                            _exploding_run_chunk)
+        spill = tmp_path / "ckpt"
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=8, executor="process",
+                            exchange="file", spill_dir=str(spill),
+                            target_chunk_seconds=None)
+        with pytest.raises(RuntimeError, match="chunk 2 exploded"):
+            engine.scan(urls, countries, samples=3)
+        leftovers = [os.path.join(root, name)
+                     for root, dirs, files in os.walk(spill)
+                     for name in list(dirs) + list(files)]
+        assert leftovers == []
+
+    @pytest.mark.skipif(not shm_available(),
+                        reason="POSIX shared memory unavailable")
+    def test_worker_failure_leaves_no_shm_blocks(self, nano_world, serial,
+                                                 monkeypatch):
+        urls, countries, _ = serial
+        before = set(os.listdir("/dev/shm"))
+        monkeypatch.setattr(engine_mod, "_process_run_chunk",
+                            _exploding_run_chunk)
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=8, executor="process",
+                            exchange="shm", target_chunk_seconds=None)
+        with pytest.raises(RuntimeError, match="chunk 2 exploded"):
+            engine.scan(urls, countries, samples=3)
+        assert set(os.listdir("/dev/shm")) - before == set()
+
+    def test_autotuned_scan_matches_serial(self, nano_world, serial,
+                                           tmp_path):
+        # With autotuning live (real clock), chunk boundaries shift run
+        # to run — and must never leak into the output bytes.
+        urls, countries, expected = serial
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=8, executor="process",
+                            target_chunk_seconds=0.05)
+        data = engine.scan(urls, countries, samples=3)
+        assert _encoded(data, tmp_path, "tuned") == \
+            _encoded(expected, tmp_path, "serial")
+
+
+class TestAbsorptionTokens:
+    def test_duplicate_token_rejected(self, nano_world):
+        scanner = Lumscan(LuminatiClient(nano_world), seed=5)
+        scanner.absorb_worker_counts(10, 20, token="batch-A")
+        with pytest.raises(ValueError, match="batch-A"):
+            scanner.absorb_worker_counts(10, 20, token="batch-A")
+
+    def test_distinct_tokens_accumulate(self, nano_world):
+        client = LuminatiClient(nano_world)
+        scanner = Lumscan(client, seed=5)
+        base = client.request_count
+        scanner.absorb_worker_counts(3, 0, token="batch-B")
+        scanner.absorb_worker_counts(4, 0, token="batch-C")
+        assert client.request_count == base + 7
+
+    def test_untokened_absorption_keeps_working(self, nano_world):
+        client = LuminatiClient(nano_world)
+        scanner = Lumscan(client, seed=5)
+        base = client.request_count
+        scanner.absorb_worker_counts(2, 0)
+        scanner.absorb_worker_counts(2, 0)
+        assert client.request_count == base + 4
+
+    def test_engine_scans_use_fresh_tokens(self, nano_world):
+        # Two scans through one engine absorb two batches; the global
+        # token counter must keep them distinct.
+        urls = _clean_urls(nano_world, 6)
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=4, executor="process")
+        engine.scan(urls, ["US"], samples=1)
+        engine.scan(urls, ["IR"], samples=1)

@@ -237,6 +237,30 @@ def test_iter_order_clean_when_sorted_or_order_free():
     assert findings == []
 
 
+def test_iter_order_flags_unsorted_dict_feeding_shard_writer():
+    # The shard codec is a serialization sink: unordered iteration into a
+    # segment would make shard bytes depend on dict/set history.
+    findings = run_lint("""
+        from repro.lumscan.shards import write_shard
+
+        def spill(bodies, spec, seq):
+            rows = [[row, body] for row, body in bodies.items()]
+            return write_shard(rows, spec, seq)
+    """)
+    assert rule_ids(findings) == ["iter-order"]
+
+
+def test_iter_order_clean_when_shard_writer_input_is_sorted():
+    findings = run_lint("""
+        from repro.lumscan.shards import write_shard
+
+        def spill(bodies, spec, seq):
+            rows = [[row, body] for row, body in sorted(bodies.items())]
+            return write_shard(rows, spec, seq)
+    """)
+    assert findings == []
+
+
 def test_iter_order_honors_ordered_directive():
     findings = run_lint("""
         import json
