@@ -139,11 +139,13 @@ class ExperimentSuite:
     def __init__(self, world: World,
                  study_config: Optional[StudyConfig] = None,
                  checkpoint_dir: Optional[str] = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 checkpoint_format: str = "lshd") -> None:
         self.world = world
         self.config = study_config or StudyConfig(seed=world.config.seed)
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        self.checkpoint_format = checkpoint_format
         self.luminati = LuminatiClient(world)
         self.fortiguard = FortiGuardClient(world.population, world.taxonomy,
                                            seed=world.config.seed)
@@ -164,7 +166,8 @@ class ExperimentSuite:
         logger.info("suite: starting Top-10K study")
         self.top10k = run_top10k_study(world, self.luminati, self.config,
                                        checkpoint_dir=self.checkpoint_dir,
-                                       resume=self.resume)
+                                       resume=self.resume,
+                                       checkpoint_format=self.checkpoint_format)
         result = self.top10k
         report.stage_stats["top10k"] = [s.as_dict()
                                         for s in result.stage_stats]
@@ -212,7 +215,8 @@ class ExperimentSuite:
             self.top1m = run_top1m_study(world, self.luminati, self.config,
                                          registry=result.registry,
                                          checkpoint_dir=self.checkpoint_dir,
-                                         resume=self.resume)
+                                         resume=self.resume,
+                                         checkpoint_format=self.checkpoint_format)
             report.stage_stats["top1m"] = [s.as_dict()
                                            for s in self.top1m.stage_stats]
             report.tables["table7"] = tabs.table7(self.top1m)

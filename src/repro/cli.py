@@ -40,10 +40,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     world = _world(args.scale, args.seed)
     config = StudyConfig(seed=args.seed, workers=max(1, args.workers),
                          executor=args.executor, exchange=args.exchange,
+                         merge=args.merge,
                          target_chunk_ms=max(0, args.target_chunk_ms))
     suite = ExperimentSuite(world, study_config=config,
                             checkpoint_dir=args.checkpoint_dir,
-                            resume=args.resume)
+                            resume=args.resume,
+                            checkpoint_format=args.checkpoint_format)
     stopwatch = args.clock.stopwatch()
     report = suite.run(include_top1m=not args.no_top1m,
                        include_vps=not args.no_vps,
@@ -173,6 +175,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(list(args.lint_args))
 
 
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    import os
+
+    import numpy as np
+
+    from repro.lumscan.serialize import sniff_format
+    from repro.lumscan.shards import read_segment_header
+
+    path = args.path
+    try:
+        fmt = sniff_format(path)
+    except OSError as exc:
+        raise SystemExit(f"{path}: {exc}")
+    if fmt != "lshd":
+        raise SystemExit(f"{path}: not an LSHD segment (looks like {fmt})")
+    header = read_segment_header(path)
+    size = os.stat(path).st_size
+    print(f"segment:     {path}")
+    print(f"version:     {header.get('version')}")
+    print(f"rows:        {header.get('n')}")
+    print(f"file bytes:  {size}")
+    fingerprint = header.get("fingerprint")
+    print(f"fingerprint: {fingerprint if fingerprint else '(absent)'}")
+    print("columns:")
+    for name, dtype, offset, nbytes in header.get("columns", []):
+        rows = nbytes // np.dtype(dtype).itemsize
+        print(f"  {name:10s} {dtype:4s} offset={offset:<10d} "
+              f"bytes={nbytes:<10d} rows={rows}")
+    print("json sections:")
+    for name, offset, nbytes in header.get("json", []):
+        print(f"  {name:10s}      offset={offset:<10d} bytes={nbytes}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     world = _world(args.scale, args.seed)
     suite = ExperimentSuite(world)
@@ -225,10 +261,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "segments in shared memory or spill files, or the "
                           "legacy whole-dataset pickle; 'auto' prefers "
                           "shared memory (default: auto)")
+    run.add_argument("--merge", default="memory",
+                     choices=("memory", "spill"),
+                     help="process-merge sink: accumulate worker shards in "
+                          "RAM, or stream them to an on-disk LSHD segment "
+                          "and mmap the result (default: memory)")
     run.add_argument("--target-chunk-ms", type=int, default=250,
                      help="autotune process chunks toward this wall-time "
                           "per chunk; 0 keeps a fixed chunk size "
                           "(default: 250)")
+    run.add_argument("--checkpoint-format", default="lshd",
+                     choices=("lshd", "jsonl.gz", "jsonl"),
+                     help="dataset codec for checkpoints; loads sniff magic "
+                          "bytes so resume works across formats "
+                          "(default: lshd)")
     run.set_defaults(func=_cmd_run)
 
     top10k = sub.add_parser("top10k", help="run only the Top-10K study")
@@ -262,6 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
     stability.add_argument("--seeds", type=int, nargs="+",
                            default=[7, 8, 9])
     stability.set_defaults(func=_cmd_stability)
+
+    store = sub.add_parser(
+        "store", help="inspect on-disk dataset artifacts")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    inspect = store_sub.add_parser(
+        "inspect", help="print an LSHD segment's header without mapping "
+                        "its column buffers")
+    inspect.add_argument("path", help="path to an .lshd segment file")
+    inspect.set_defaults(func=_cmd_store_inspect)
 
     lint = sub.add_parser(
         "lint", help="run the determinism/concurrency-purity linter",

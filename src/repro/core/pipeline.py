@@ -96,6 +96,7 @@ class StudyConfig:
     workers: int = 1                  # scan-engine pool width (1 = inline)
     executor: str = "thread"          # scan-engine pool shape (or "process")
     exchange: str = "auto"            # worker→parent result transport
+    merge: str = "memory"             # process-merge sink ("spill" = on-disk)
     target_chunk_ms: int = 250        # chunk autotune target (0 = fixed)
 
 
@@ -116,11 +117,12 @@ def registry_salt(registry: Optional[FingerprintRegistry]) -> str:
 
 def _study_store(checkpoint_dir: Optional[str], study: str,
                  config: StudyConfig, world: World,
-                 salt: str = "") -> Optional[ArtifactStore]:
+                 salt: str = "",
+                 dataset_format: str = "lshd") -> Optional[ArtifactStore]:
     if checkpoint_dir is None:
         return None
     return ArtifactStore(checkpoint_dir, study, config, world.config,
-                         salt=salt)
+                         salt=salt, dataset_format=dataset_format)
 
 
 def _build_engine(scanner: Lumscan, cfg: StudyConfig,
@@ -134,7 +136,7 @@ def _build_engine(scanner: Lumscan, cfg: StudyConfig,
     """
     target = cfg.target_chunk_ms / 1000.0 if cfg.target_chunk_ms else None
     return ScanEngine(scanner, workers=cfg.workers, executor=cfg.executor,
-                      exchange=cfg.exchange,
+                      exchange=cfg.exchange, merge=cfg.merge,
                       spill_dir=store.directory if store else None,
                       target_chunk_seconds=target)
 
@@ -359,19 +361,23 @@ def run_top10k_study(world: World,
                      lumscan_config: Optional[LumscanConfig] = None,
                      catalog: Optional[FingerprintRegistry] = None,
                      checkpoint_dir: Optional[str] = None,
-                     resume: bool = False) -> Top10KResult:
+                     resume: bool = False,
+                     checkpoint_format: str = "lshd") -> Top10KResult:
     """The full §4 methodology over the synthetic Top 10K.
 
     With ``checkpoint_dir`` set, every stage's artifacts are persisted
     there; with ``resume=True`` as well, stages whose checkpoints are
     complete (same configs, same stage fingerprint) are skipped and their
     artifacts loaded — producing bit-identical results to a fresh run.
+    ``checkpoint_format`` selects the dataset codec (loads always sniff,
+    so resuming works across formats).
     """
     cfg = config or StudyConfig()
     lum = luminati or LuminatiClient(world)
     scanner = Lumscan(lum, config=lumscan_config, seed=cfg.seed)
     store = _study_store(checkpoint_dir, "top10k", cfg, world,
-                         salt=registry_salt(catalog))
+                         salt=registry_salt(catalog),
+                         dataset_format=checkpoint_format)
     engine = _build_engine(scanner, cfg, store)
     runner = StudyRunner("top10k", top10k_stages(), store=store,
                          resume=resume)
@@ -606,7 +612,8 @@ def run_top1m_study(world: World,
                     config: Optional[StudyConfig] = None,
                     registry: Optional[FingerprintRegistry] = None,
                     checkpoint_dir: Optional[str] = None,
-                    resume: bool = False) -> Top1MResult:
+                    resume: bool = False,
+                    checkpoint_format: str = "lshd") -> Top1MResult:
     """The full §5 methodology over the synthetic Top 1M.
 
     Checkpointing works as in :func:`run_top10k_study`; the inherited
@@ -618,7 +625,8 @@ def run_top1m_study(world: World,
     scanner = Lumscan(lum, seed=cfg.seed)
     reg = registry or FingerprintRegistry.default()
     store = _study_store(checkpoint_dir, "top1m", cfg, world,
-                         salt=registry_salt(reg))
+                         salt=registry_salt(reg),
+                         dataset_format=checkpoint_format)
     engine = _build_engine(scanner, cfg, store)
     runner = StudyRunner("top1m", top1m_stages(), store=store, resume=resume)
     ctx = RunContext(world=world, config=cfg, scanner=engine,

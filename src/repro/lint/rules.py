@@ -190,6 +190,7 @@ SERIALIZATION_SINKS = frozenset({
     "encode_artifact", "dump_dataset", "save_report",
     "_atomic_write_json",
     "encode_shard", "write_shard", "decode_shard",
+    "write_segment_file", "dump_dataset_lshd",
 })
 
 #: Functions whose own body *is* a serializer (context even without a
@@ -197,6 +198,7 @@ SERIALIZATION_SINKS = frozenset({
 SERIALIZATION_FUNCTIONS = frozenset({
     "encode_artifact", "dump_dataset", "save_report",
     "encode_shard", "write_shard", "decode_shard",
+    "write_segment_file", "dump_dataset_lshd",
 })
 
 #: Entry points of the scan-engine worker surface.  Reachability for the

@@ -39,6 +39,12 @@ merge path off the critical path:
   pool and holds at most a bounded window of unmerged shards — parent
   memory stays flat.  Because merges still happen in sequence order,
   the merged bytes are identical to serial for any completion order.
+* **Spill-backed merge** (``merge="spill"``): the streaming merge
+  appends shards to a :class:`~repro.lumscan.shards.SpillDatasetBuilder`
+  instead of an in-RAM dataset, and the finished result comes back as a
+  zero-copy mapped dataset over one on-disk segment — the merged parent
+  result never needs to fit in memory, and the bytes (hence the mapped
+  dataset) are identical to the in-memory merge.
 * **Latency-driven chunk autotuning**: a :class:`ChunkAutotuner` sizes
   the next chunk from the observed probes/s so each chunk lands near a
   target wall-time (amortizing dispatch without starving the stream).
@@ -68,6 +74,7 @@ from repro.lumscan.shards import (
     ExchangeSpec,
     ShardExchange,
     ShardHandle,
+    SpillDatasetBuilder,
     open_shard,
     release_shard,
     write_shard,
@@ -86,6 +93,10 @@ EXECUTORS = ("thread", "process")
 #: Valid ``ScanEngine(exchange=...)`` values: the shard transports plus
 #: the legacy whole-dataset pickle return path.
 EXCHANGES = EXCHANGE_MODES + ("pickle",)
+
+#: Valid ``ScanEngine(merge=...)`` values: hold the merged dataset in
+#: parent RAM, or stream it into an on-disk segment and map it back.
+MERGES = ("memory", "spill")
 
 #: Outstanding chunks per worker: enough that a worker finishing early
 #: always has a queued chunk, small enough to bound unmerged backlog.
@@ -308,12 +319,20 @@ class ScanEngine:
     Drop-in compatible with the scanner's ``scan`` / ``resample`` API; the
     study pipelines accept either.  ``workers=1`` executes inline with no
     pool, and is byte-identical to any ``workers=k`` run by construction.
+
+    ``merge="spill"`` routes the process pool's streaming merge through
+    a :class:`SpillDatasetBuilder`: ``scan``/``resample`` then return a
+    *new* mapped dataset (the caller-passed ``dataset``, if any, seeds
+    the builder but is not mutated), with records identical to the
+    in-memory merge.  Runs that take the inline shortcut (``workers=1``
+    or a single task) still merge in memory.
     """
 
     def __init__(self, scanner, workers: int = 1,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  executor: str = "thread",
                  exchange: str = "auto",
+                 merge: str = "memory",
                  spill_dir: Optional[str] = None,
                  target_chunk_seconds: Optional[float] =
                  DEFAULT_TARGET_CHUNK_SECONDS,
@@ -328,6 +347,14 @@ class ScanEngine:
         if exchange not in EXCHANGES:
             raise ValueError(
                 f"exchange must be one of {EXCHANGES}, got {exchange!r}")
+        if merge not in MERGES:
+            raise ValueError(
+                f"merge must be one of {MERGES}, got {merge!r}")
+        if merge == "spill" and executor != "process":
+            raise ValueError(
+                "merge='spill' requires executor='process' (the spill "
+                "builder backs the process pool's streaming merge)")
+        self._merge = merge
         self._scanner = scanner
         self._workers = workers
         self._chunk_size = chunk_size
@@ -351,6 +378,11 @@ class ScanEngine:
     def exchange(self) -> str:
         """Configured worker-result transport ("auto"/"shm"/"file"/"pickle")."""
         return self._exchange
+
+    @property
+    def merge(self) -> str:
+        """Configured merge sink ("memory" or "spill")."""
+        return self._merge
 
     # ------------------------------------------------------------------ #
 
@@ -418,15 +450,25 @@ class ScanEngine:
                                target_seconds=self._target_chunk_seconds)
         buffer = ChunkReorderBuffer()
         pending: Dict[object, int] = {}   # future -> chunk sequence number
+        merger: Optional[SpillDatasetBuilder] = None
         requests = fetches = 0
         cursor = 0
         seq = 0
         logger.debug("engine: %d tasks over %d process workers "
-                     "(exchange=%s, autotune=%s)", len(tasks), self._workers,
-                     self._exchange, tuner.enabled)
+                     "(exchange=%s, merge=%s, autotune=%s)",
+                     len(tasks), self._workers, self._exchange, self._merge,
+                     tuner.enabled)
         try:
             exchange_spec = None if exchange is None else \
                 exchange.open().spec()
+            if self._merge == "spill":
+                # The builder owns its own directory under spill_dir —
+                # never the exchange session dir, which is removed
+                # wholesale when the exchange closes.
+                merger = SpillDatasetBuilder(directory=self._spill_dir)
+                if len(data):
+                    merger.extend_columns(data.export_columns())
+            sink = data if merger is None else merger
             with ProcessPoolExecutor(
                     max_workers=self._workers,
                     initializer=_process_worker_init,
@@ -466,9 +508,12 @@ class ScanEngine:
                         submit_next()
                     for payload, request_delta, fetch_delta in \
                             buffer.pop_ready():
-                        self._merge_payload(data, payload)
+                        self._merge_payload(sink, payload)
                         requests += request_delta
                         fetches += fetch_delta
+            if merger is not None:
+                data = merger.finalize()
+                merger = None
         finally:
             # Error path: nothing below may leak a segment.  Unmerged
             # buffered shards, plus shards from futures that completed
@@ -484,6 +529,8 @@ class ScanEngine:
                 except Exception:
                     continue
                 self._discard_payload(result[1])
+            if merger is not None:
+                merger.abort()
             if exchange is not None:
                 exchange.close()
         scanner.absorb_worker_counts(
@@ -492,16 +539,21 @@ class ScanEngine:
         return data
 
     @staticmethod
-    def _merge_payload(data: ScanDataset, payload) -> None:
-        """Fold one chunk's result into the parent dataset."""
+    def _merge_payload(sink, payload) -> None:
+        """Fold one chunk's result into the merge sink.
+
+        ``sink`` is the parent :class:`ScanDataset` (memory merge) or a
+        :class:`SpillDatasetBuilder` (spill merge) — both consume
+        bundles through the same ``extend_columns`` contract.
+        """
         if isinstance(payload, ShardHandle):
             try:
                 with open_shard(payload) as reader:
-                    data.extend_columns(reader.columns)
+                    sink.extend_columns(reader.columns)
             finally:
                 release_shard(payload)
         else:
-            data.extend(payload)
+            sink.extend_columns(payload.export_columns())
 
     @staticmethod
     def _discard_payload(payload) -> None:

@@ -129,6 +129,76 @@ class ScanDataset:
         # Sparse side tables.
         self._bodies: Dict[int, str] = {}
         self._interfered: Set[int] = set()
+        # Backing segment mapping for mapped datasets (see from_columns).
+        self._source: Optional[object] = None
+        self._closed = False
+
+    @classmethod
+    def from_columns(cls, cols: ShardColumns,
+                     source: Optional[object] = None) -> "ScanDataset":
+        """Adopt a column bundle as a dataset without copying the rows.
+
+        The inverse of :meth:`export_columns`: the five row columns are
+        taken as-is — for a decoded LSHD segment they are zero-copy
+        views over the mapping, so a million-row checkpoint opens in
+        O(columns) — and the code dicts are rebuilt from the name
+        tables.  ``source`` (a
+        :class:`~repro.lumscan.shards.SegmentMapping`) hands this
+        dataset ownership of the mapping's lifetime; release it with
+        :meth:`close`.  Mapped datasets are fully functional: the
+        kernels and accessors run directly on the mapped buffers, and
+        the first append detaches into fresh writable buffers via the
+        usual capacity growth.
+        """
+        data = cls.__new__(cls)
+        data._domain_names = list(cols.domain_names)
+        data._domain_code = {name: code
+                             for code, name in enumerate(data._domain_names)}
+        data._country_names = list(cols.country_names)
+        data._country_code = {name: code
+                              for code, name in enumerate(data._country_names)}
+        data._error_names = list(cols.error_names)
+        data._error_code = {name: code
+                            for code, name in enumerate(data._error_names)}
+        m = cols.n
+        data._n = m
+        data._dcodes = cols.dcodes[:m]
+        data._ccodes = cols.ccodes[:m]
+        data._statuses = cols.statuses[:m]
+        data._lengths = cols.lengths[:m]
+        data._ecodes = cols.ecodes[:m]
+        data._bodies = {int(row): body for row, body in cols.bodies.items()}
+        data._interfered = {int(row) for row in cols.interfered}
+        data._source = source
+        data._closed = False
+        return data
+
+    @property
+    def is_mapped(self) -> bool:
+        """True while the columns are views over a backing segment mapping."""
+        return self._source is not None
+
+    def close(self) -> bool:
+        """Invalidate this dataset and release its backing mapping.
+
+        After close the dataset reads as empty and the column accessors
+        raise; views handed out earlier (``status_array()`` and
+        friends) stay valid — they pin the mapping until they are
+        garbage-collected, in which case close returns False and the OS
+        reclaims the pages when the last view dies.  Closing a plain
+        in-memory dataset just empties it.
+        """
+        self._closed = True
+        self._n = 0
+        for name in self.COLUMN_BUFFERS:
+            # Read only the dtype: a local reference to the buffer
+            # itself would pin the mapping through source.close() below.
+            dtype = getattr(self, name).dtype
+            setattr(self, name, np.empty(0, dtype=dtype))
+        self._bodies = {}
+        self._interfered = set()
+        source, self._source = self._source, None
+        return True if source is None else source.close()
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -157,6 +227,8 @@ class ScanDataset:
                body: Optional[str], error: Optional[str] = None,
                interfered: bool = False) -> None:
         """Append one record (bodies above the threshold are dropped)."""
+        if self._closed:
+            raise ValueError("dataset is closed")
         index = self._n
         self._reserve(index + 1)
         self._dcodes[index] = self._intern(self._domain_code,
@@ -215,6 +287,8 @@ class ScanDataset:
         reproduces a serial scan bit-for-bit, because code tables intern
         labels in first-seen row order.
         """
+        if self._closed:
+            raise ValueError("dataset is closed")
         m = cols.n
         if m == 0:
             return
@@ -256,13 +330,18 @@ class ScanDataset:
         # Ship only the valid prefix of each growable buffer: worker
         # processes return many small chunk datasets, and the empty
         # over-allocated capacity would otherwise dominate the pickle.
+        # Mapped datasets pickle as plain copies — the mapping itself
+        # never crosses a process boundary.
         state = self.__dict__.copy()
         for name in self.COLUMN_BUFFERS:
             state[name] = self.__dict__[name][: self._n].copy()
+        state["_source"] = None
         return state
 
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("_source", None)
+        self.__dict__.setdefault("_closed", False)
 
     # ------------------------------------------------------------------ #
     # Row access
@@ -272,6 +351,8 @@ class ScanDataset:
 
     def row(self, index: int) -> Sample:
         """Materialize the record at ``index``."""
+        if self._closed:
+            raise ValueError("dataset is closed")
         if not 0 <= index < self._n:
             raise IndexError(f"row index {index} out of range")
         return Sample(
@@ -301,6 +382,8 @@ class ScanDataset:
     # Columnar views (read-only; shared with the analysis kernels)
 
     def _view(self, buffer: np.ndarray) -> np.ndarray:
+        if self._closed:
+            raise ValueError("dataset is closed")
         view = buffer[: self._n]
         view.flags.writeable = False
         return view

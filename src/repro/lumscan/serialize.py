@@ -1,20 +1,26 @@
-"""JSONL persistence for scan datasets.
+"""On-disk persistence for scan datasets: LSHD segments and JSONL.
 
 Scans are expensive (millions of probes), so batch runs save raw results
-and analyses reload them.  The format is one JSON object per record —
-append-friendly, diff-able, and stream-parsable.  Bodies are stored only
-when the dataset retained them (same policy as in memory).
+and analyses reload them.  Two formats are supported, dispatched by
+magic bytes (never by file extension):
 
-Two properties matter for checkpointing:
+* **LSHD columnar segments** (:func:`dump_dataset_lshd`) — the default
+  checkpoint format: the dataset's raw column buffers plus canonical
+  JSON code tables in one fingerprinted segment (see
+  :mod:`repro.lumscan.shards`).  :func:`load_dataset` maps a segment
+  back as zero-copy column views, so loading is O(columns) instead of
+  O(rows).
+* **JSONL** (:func:`dump_dataset`) — one JSON object per record:
+  append-friendly, diff-able, and stream-parsable; kept as the export /
+  interchange format and for checkpoints written before the columnar
+  format existed.  Paths ending in ``.gz`` are transparently
+  compressed, with ``mtime=0`` so identical datasets produce identical
+  bytes.
 
-* **Crash safety** — :func:`dump_dataset` writes to a temporary file in
-  the target directory and atomically :func:`os.replace`\\ s it into
-  place, so an interrupted run can never leave a truncated dataset
-  behind: the file either has the old content or the complete new one.
-* **Transparent gzip** — paths ending in ``.gz`` are compressed (retained
-  block-page bodies dominate checkpoint size at paper scale, and they
-  compress extremely well).  Compressed files are written with ``mtime=0``
-  so identical datasets produce identical bytes.
+Both writers share the crash-safety contract: data goes to a temporary
+file in the target directory and is atomically :func:`os.replace`\\ d
+into place, so an interrupted run can never leave a truncated dataset
+behind.
 """
 
 from __future__ import annotations
@@ -26,16 +32,41 @@ import os
 from contextlib import contextmanager
 from typing import Iterator, Union
 
-from repro.lumscan.records import ScanDataset
+import numpy as np
+
+from repro.lumscan.records import ScanDataset, ShardColumns
+from repro.lumscan.shards import (
+    MAGIC as _LSHD_MAGIC,
+    SegmentMapping,
+    decode_shard,
+    write_segment_file,
+)
 
 _FIELDS = ("domain", "country", "status", "length", "body", "error",
            "interfered")
+
+_GZIP_MAGIC = b"\x1f\x8b"
 
 PathLike = Union[str, os.PathLike]
 
 
 def _is_gzip(path: PathLike) -> bool:
     return os.fspath(path).endswith(".gz")
+
+
+def sniff_format(path: PathLike) -> str:
+    """Detect a dataset file's on-disk format from its magic bytes.
+
+    Returns ``"lshd"``, ``"jsonl.gz"``, or ``"jsonl"``.  The extension
+    is never trusted, so renamed or legacy checkpoints load correctly.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_LSHD_MAGIC))
+    if magic == _LSHD_MAGIC:
+        return "lshd"
+    if magic[: len(_GZIP_MAGIC)] == _GZIP_MAGIC:
+        return "jsonl.gz"
+    return "jsonl"
 
 
 @contextmanager
@@ -70,9 +101,9 @@ def _atomic_text_writer(path: PathLike) -> Iterator[io.TextIOBase]:
         raise
 
 
-def _open_text(path: PathLike) -> io.TextIOBase:
+def _open_text(path: PathLike, compressed: bool) -> io.TextIOBase:
     """Open a (possibly gzip-compressed) text file for reading."""
-    if _is_gzip(path):
+    if compressed:
         return gzip.open(path, "rt", encoding="utf-8")
     return open(path, "r", encoding="utf-8")
 
@@ -103,10 +134,59 @@ def dump_dataset(dataset: ScanDataset, path: PathLike) -> int:
     return count
 
 
-def load_dataset(path: PathLike) -> ScanDataset:
-    """Read a JSONL dataset written by :func:`dump_dataset`."""
+def dump_dataset_lshd(dataset: ScanDataset, path: PathLike) -> int:
+    """Write a dataset as one LSHD columnar segment.
+
+    The checkpoint-side writer: atomic (temp + ``os.replace``),
+    fingerprinted, and bit-deterministic — the bytes are a pure function
+    of the records.  :func:`load_dataset` maps the result back as
+    zero-copy column views.  Returns the number of records written.
+    """
+    write_segment_file(dataset.export_columns(), os.fspath(path))
+    return len(dataset)
+
+
+def _load_segment(path: PathLike, mmap_columns: bool) -> ScanDataset:
+    """Open an LSHD segment as a dataset (mapped or materialized)."""
+    mapping = SegmentMapping(path)
+    try:
+        columns = decode_shard(mapping.buffer)
+    except BaseException:
+        mapping.close()
+        raise
+    if mmap_columns:
+        return ScanDataset.from_columns(columns, source=mapping)
+    materialized = ShardColumns(
+        n=columns.n,
+        dcodes=np.array(columns.dcodes),
+        ccodes=np.array(columns.ccodes),
+        statuses=np.array(columns.statuses),
+        lengths=np.array(columns.lengths),
+        ecodes=np.array(columns.ecodes),
+        domain_names=list(columns.domain_names),
+        country_names=list(columns.country_names),
+        error_names=list(columns.error_names),
+        bodies=dict(columns.bodies),
+        interfered=list(columns.interfered),
+    )
+    mapping.close()
+    return ScanDataset.from_columns(materialized)
+
+
+def load_dataset(path: PathLike, mmap: bool = True) -> ScanDataset:
+    """Read a dataset in any supported on-disk format.
+
+    The format is sniffed from magic bytes: LSHD segments come back as
+    zero-copy mapped datasets (``mmap=False`` copies the columns into
+    ordinary growable buffers and releases the mapping immediately);
+    gzip and plain JSONL — including checkpoints written before the
+    columnar format existed — parse row by row as before.
+    """
+    fmt = sniff_format(path)
+    if fmt == "lshd":
+        return _load_segment(path, mmap_columns=mmap)
     dataset = ScanDataset()
-    with _open_text(path) as handle:
+    with _open_text(path, compressed=(fmt == "jsonl.gz")) as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

@@ -44,21 +44,30 @@ Lifetime is owned by the parent: workers ``close()`` (and unregister
 from their resource tracker) immediately after writing, and the parent
 unlinks each segment after merging it — or, on error paths, via
 :func:`release_shard` / the :class:`ShardExchange` session context.
+
+Beyond the worker exchange, the same format is the repo's **checkpoint
+and analytics substrate**: :func:`write_segment_file` persists a whole
+dataset as one fingerprinted segment (atomic rename, bit-deterministic),
+:class:`SegmentMapping` + :meth:`ScanDataset.from_columns` open it back
+as a zero-copy mapped dataset, and :class:`SpillDatasetBuilder` merges
+worker shards straight into an on-disk segment so a merged result never
+needs to fit in parent RAM.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import mmap
 import os
 import shutil
 import tempfile
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.lumscan.records import ShardColumns
+from repro.lumscan.records import NO_ERROR, ScanDataset, ShardColumns
 
 MAGIC = b"LSHD"
 FORMAT_VERSION = 1
@@ -126,13 +135,37 @@ def _pad(n: int) -> int:
     return (n + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 
 
-def encode_shard(columns: ShardColumns) -> Tuple[bytes, List[Tuple[int, bytes]], int]:
+#: Digest width of the optional segment fingerprint (blake2b, hex).
+FINGERPRINT_BYTES = 16
+
+
+def _combine_digests(digests: List[bytes]) -> str:
+    """Fold per-section digests into the segment fingerprint.
+
+    The fingerprint hashes the sections' *digests* (in payload order)
+    rather than the raw bytes so the sequential writer and the streaming
+    :class:`SpillDatasetBuilder` — which only ever sees one chunk of a
+    column at a time — arrive at the same value.
+    """
+    outer = hashlib.blake2b(digest_size=FINGERPRINT_BYTES)
+    for digest in digests:
+        outer.update(digest)
+    return outer.hexdigest()
+
+
+def encode_shard(columns: ShardColumns,
+                 fingerprint: bool = False
+                 ) -> Tuple[bytes, List[Tuple[int, bytes]], int]:
     """Serialize a column bundle to ``(header, payload, payload_nbytes)``.
 
     ``payload`` is a list of ``(relative_offset, bytes)`` sections; the
     caller places them at ``payload_base(header) + offset``.  Every byte
     is a deterministic function of the rows: code tables keep first-seen
     order, bodies are sorted by row index, interfered indices sorted.
+
+    ``fingerprint=True`` adds a payload digest to the header (checkpoint
+    segments carry one; hot-path worker shards skip the hashing cost).
+    Readers ignore unknown header keys, so both flavors decode the same.
     """
     payload: List[Tuple[int, bytes]] = []
     column_meta = []
@@ -171,6 +204,10 @@ def encode_shard(columns: ShardColumns) -> Tuple[bytes, List[Tuple[int, bytes]],
         "columns": column_meta,
         "json": json_meta,
     }
+    if fingerprint:
+        header["fingerprint"] = _combine_digests(
+            [hashlib.blake2b(blob, digest_size=FINGERPRINT_BYTES).digest()
+             for _, blob in payload])
     header_bytes = json.dumps(header, sort_keys=True,
                               separators=(",", ":")).encode("utf-8")
     return header_bytes, payload, offset
@@ -240,6 +277,54 @@ def write_shard(columns: ShardColumns, spec: ExchangeSpec,
             pass
         raise
     return ShardHandle(kind=KIND_FILE, ref=path, nbytes=total)
+
+
+def write_segment_file(columns: ShardColumns, path: str,
+                       fingerprint: bool = True) -> int:
+    """Write ``columns`` as one complete LSHD segment file at ``path``.
+
+    The checkpoint-side writer: identical byte layout to the
+    worker-exchange shards, plus a header fingerprint so a segment's
+    integrity is checkable without decoding the payload.  The write is
+    atomic (temp + ``os.replace``) and the bytes are a pure function of
+    the rows.  Returns the segment size in bytes.
+    """
+    header_bytes, payload, payload_nbytes = encode_shard(
+        columns, fingerprint=fingerprint)
+    total = payload_base(header_bytes) + payload_nbytes
+    buffer = bytearray(total)
+    _write_segment(buffer, header_bytes, payload)
+    target = os.fspath(path)
+    tmp = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(buffer)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return total
+
+
+def read_segment_header(path) -> Dict[str, object]:
+    """Read a segment file's header without mapping or decoding the payload.
+
+    Powers ``repro-geoblock store inspect``: only the magic and the
+    header JSON are read, so a million-row checkpoint inspects in
+    O(header) regardless of payload size.
+    """
+    name = os.fspath(path)
+    with open(name, "rb") as handle:
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise ValueError(f"{name}: not an LSHD segment (bad magic)")
+        header_len = int.from_bytes(handle.read(4), "little")
+        blob = handle.read(header_len)
+    if len(blob) != header_len:
+        raise ValueError(f"{name}: truncated segment header")
+    return json.loads(blob.decode("utf-8"))
 
 
 def decode_shard(buffer) -> ShardColumns:
@@ -416,3 +501,261 @@ class ShardExchange:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class SegmentMapping:
+    """Read-only mmap over a whole segment file (dataset-lifetime owner).
+
+    :class:`ShardReader` owns short merge-scoped mappings; this class
+    backs long-lived mapped datasets (checkpoint loads, spill-merge
+    results).  ``close()`` is best-effort: the file descriptor always
+    closes, but the mapping itself survives while numpy column views
+    still alias it — ``close()`` then returns False and the OS reclaims
+    the pages when the last view is garbage-collected.  A mapping over
+    an unlinked file stays valid (POSIX), so invalidating or replacing a
+    checkpoint under a live reader is safe.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = os.fspath(path)
+        self._file = open(self._path, "rb")
+        try:
+            self._mmap: Optional[mmap.mmap] = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except BaseException:
+            self._file.close()
+            raise
+
+    @property
+    def path(self) -> str:
+        """The mapped segment's path at open time."""
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        """True once ``close()`` released (or abandoned) the mapping."""
+        return self._mmap is None
+
+    @property
+    def buffer(self) -> mmap.mmap:
+        """The raw mapped segment bytes (valid until ``close()``)."""
+        if self._mmap is None:
+            raise ValueError(f"segment mapping over {self._path} is closed")
+        return self._mmap
+
+    def close(self) -> bool:
+        """Release the mapping; False when live views keep it pinned."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._mmap is not None:
+            mapped, self._mmap = self._mmap, None
+            try:
+                mapped.close()
+            except BufferError:
+                # Exported numpy views still alias the pages; dropping
+                # our reference hands reclamation to their collection.
+                return False
+        return True
+
+
+class SpillDatasetBuilder:
+    """Streaming merge of column bundles into one on-disk segment.
+
+    The spill-backed counterpart of :meth:`ScanDataset.extend_columns`
+    for merged results that must not live in parent RAM: each
+    ``extend_columns`` call remaps the bundle's categorical codes
+    through the builder's global tables (identical first-seen interning,
+    so the finished segment is bit-identical to an in-memory merge
+    followed by :func:`write_segment_file`) and appends the remapped row
+    columns to per-column spill files.  ``finalize()`` stitches the
+    spill files into one fingerprinted segment and returns it as a
+    zero-copy mapped :class:`~repro.lumscan.records.ScanDataset`.  Only
+    the sparse side tables (retained bodies, interfered rows) are held
+    in memory — at paper scale a few percent of the rows.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        base = directory or tempfile.gettempdir()
+        os.makedirs(base, exist_ok=True)
+        self._dir = tempfile.mkdtemp(prefix="lshd-merge-", dir=base)
+        self._n = 0
+        self._files: Dict[str, object] = {}
+        self._digests: Dict[str, object] = {}
+        for name, _ in COLUMN_DTYPES:
+            self._files[name] = open(
+                os.path.join(self._dir, f"{name}.col"), "wb")
+            self._digests[name] = hashlib.blake2b(
+                digest_size=FINGERPRINT_BYTES)
+        self._domain_code: Dict[str, int] = {}
+        self._domain_names: List[str] = []
+        self._country_code: Dict[str, int] = {}
+        self._country_names: List[str] = []
+        self._error_code: Dict[str, int] = {}
+        self._error_names: List[str] = []
+        self._bodies: Dict[int, str] = {}
+        self._interfered: set = set()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def directory(self) -> str:
+        """The builder's private spill directory (removed on finalize)."""
+        return self._dir
+
+    @staticmethod
+    def _intern(code_of: Dict[str, int], names: List[str], value: str) -> int:
+        code = code_of.get(value)
+        if code is None:
+            code = len(names)
+            code_of[value] = code
+            names.append(value)
+        return code
+
+    def extend_columns(self, cols: ShardColumns) -> None:
+        """Append all rows of a bundle (``ScanDataset.extend_columns``'s
+        contract: first-seen interning in append order, bulk column
+        copies, side tables rebased by row offset)."""
+        if self._closed:
+            raise ValueError("spill builder is finalized or aborted")
+        m = cols.n
+        if m == 0:
+            return
+        offset = self._n
+        dmap = np.fromiter(
+            (self._intern(self._domain_code, self._domain_names, name)
+             for name in cols.domain_names),
+            dtype=np.int32, count=len(cols.domain_names))
+        cmap = np.fromiter(
+            (self._intern(self._country_code, self._country_names, name)
+             for name in cols.country_names),
+            dtype=np.int32, count=len(cols.country_names))
+        ecodes = cols.ecodes[:m]
+        if len(cols.error_names):
+            emap = np.fromiter(
+                (self._intern(self._error_code, self._error_names, name)
+                 for name in cols.error_names),
+                dtype=np.int16, count=len(cols.error_names))
+            ecodes = np.where(ecodes == NO_ERROR, np.int16(NO_ERROR),
+                              emap[np.maximum(ecodes, 0)])
+        remapped = {
+            "dcodes": dmap[cols.dcodes[:m]],
+            "ccodes": cmap[cols.ccodes[:m]],
+            "statuses": cols.statuses[:m],
+            "lengths": cols.lengths[:m],
+            "ecodes": ecodes,
+        }
+        for name, dtype in COLUMN_DTYPES:
+            blob = np.ascontiguousarray(
+                remapped[name], dtype=np.dtype(dtype)).tobytes()
+            self._files[name].write(blob)
+            self._digests[name].update(blob)
+        for idx, body in cols.bodies.items():
+            self._bodies[offset + int(idx)] = body
+        if cols.interfered:
+            self._interfered.update(offset + int(idx)
+                                    for idx in cols.interfered)
+        self._n = offset + m
+
+    def finalize(self, path: Optional[str] = None) -> ScanDataset:
+        """Write the final segment and return it as a mapped dataset.
+
+        ``path`` places the segment at a caller-owned location (where it
+        survives the returned dataset's ``close()``); by default the
+        segment is unlinked right after mapping, so its disk space is
+        reclaimed when the dataset and any outstanding views die.
+        """
+        if self._closed:
+            raise ValueError("spill builder is finalized or aborted")
+        self._closed = True
+        column_meta = []
+        digests = []
+        offset = 0
+        for name, dtype in COLUMN_DTYPES:
+            self._files[name].close()
+            nbytes = os.path.getsize(os.path.join(self._dir, f"{name}.col"))
+            column_meta.append([name, dtype, offset, nbytes])
+            digests.append(self._digests[name].digest())
+            offset += _pad(nbytes)
+        sections = {
+            "domains": list(self._domain_names),
+            "countries": list(self._country_names),
+            "errors": list(self._error_names),
+            "bodies": [[int(row), body]
+                       for row, body in sorted(self._bodies.items())],
+            "interfered": sorted(int(row) for row in self._interfered),
+        }
+        json_meta = []
+        json_blobs = []
+        for name in JSON_SECTIONS:
+            blob = json.dumps(sections[name], ensure_ascii=False,
+                              separators=(",", ":")).encode("utf-8")
+            json_meta.append([name, offset, len(blob)])
+            json_blobs.append(blob)
+            digests.append(hashlib.blake2b(
+                blob, digest_size=FINGERPRINT_BYTES).digest())
+            offset += _pad(len(blob))
+        header = {
+            "version": FORMAT_VERSION,
+            "n": int(self._n),
+            "columns": column_meta,
+            "json": json_meta,
+            "fingerprint": _combine_digests(digests),
+        }
+        header_bytes = json.dumps(header, sort_keys=True,
+                                  separators=(",", ":")).encode("utf-8")
+        base = payload_base(header_bytes)
+        target = os.fspath(path) if path is not None else \
+            os.path.join(self._dir, "merged.seg")
+        tmp = f"{target}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as out:
+                out.write(MAGIC)
+                out.write(len(header_bytes).to_bytes(4, "little"))
+                out.write(header_bytes)
+                out.write(b"\x00" * (base - len(MAGIC) - 4
+                                     - len(header_bytes)))
+                for name, _, _, nbytes in column_meta:
+                    with open(os.path.join(self._dir, f"{name}.col"),
+                              "rb") as col:
+                        shutil.copyfileobj(col, out, 1 << 20)
+                    out.write(b"\x00" * (_pad(nbytes) - nbytes))
+                for (name, _, nbytes), blob in zip(json_meta, json_blobs):
+                    out.write(blob)
+                    out.write(b"\x00" * (_pad(nbytes) - nbytes))
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            self._cleanup()
+            raise
+        mapping = SegmentMapping(target)
+        if path is None:
+            # POSIX: the mapped pages outlive the directory entry, so
+            # the transient merge segment frees itself with the dataset.
+            os.remove(target)
+        self._cleanup()
+        try:
+            columns = decode_shard(mapping.buffer)
+        except BaseException:
+            mapping.close()
+            raise
+        return ScanDataset.from_columns(columns, source=mapping)
+
+    def abort(self) -> None:
+        """Discard everything without writing a segment (error paths)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        for name, _ in COLUMN_DTYPES:
+            handle = self._files[name]
+            if not handle.closed:
+                handle.close()
+        shutil.rmtree(self._dir, ignore_errors=True)

@@ -4,7 +4,10 @@ Layout under the checkpoint root::
 
     <root>/<study>/<stage>.manifest.json        stage completion record
     <root>/<study>/<stage>.<artifact>.json      derived artifacts (tagged JSON)
-    <root>/<study>/<stage>.<artifact>.jsonl.gz  scan datasets (JSONL, gzip)
+    <root>/<study>/<stage>.<artifact>.lshd      scan datasets (columnar
+                                                segments, mmap-loaded;
+                                                ``dataset_format`` selects
+                                                the legacy JSONL flavors)
 
 Every stage is keyed by a **fingerprint**: a SHA-256 over the canonical
 JSON of ``(StudyConfig, WorldConfig, study name, stage name)`` plus an
@@ -29,12 +32,21 @@ import os
 from typing import Dict, Optional, Sequence
 
 from repro.lumscan.records import ScanDataset
-from repro.lumscan.serialize import dump_dataset, load_dataset
+from repro.lumscan.serialize import (
+    dump_dataset,
+    dump_dataset_lshd,
+    load_dataset,
+)
 from repro.run.codecs import decode_artifact, encode_artifact
 from repro.run.stage import KIND_DATASET, KIND_JSON, Stage
 
 #: Version of the on-disk checkpoint format (manifest + JSON envelopes).
 FORMAT_VERSION = 1
+
+#: Dataset codecs a store can write (suffix doubles as the format name).
+#: Loading always sniffs magic bytes, so checkpoints in any format —
+#: including pre-columnar ``.jsonl.gz`` ones — stay loadable.
+DATASET_FORMATS = ("lshd", "jsonl.gz", "jsonl")
 
 
 def _jsonable_config(config: object) -> object:
@@ -83,20 +95,26 @@ class ArtifactStore:
     """Checkpoint directory for one study run.
 
     ``salt`` folds non-config stage inputs into every fingerprint (pass a
-    digest of e.g. an inherited registry); ``compress`` controls whether
-    datasets are written as ``.jsonl.gz`` (the default — retained bodies
-    dominate checkpoint size) or plain ``.jsonl``.
+    digest of e.g. an inherited registry); ``dataset_format`` selects the
+    dataset codec — ``"lshd"`` (the default) writes mmap-loadable
+    columnar segments, ``"jsonl.gz"`` / ``"jsonl"`` keep the row-oriented
+    JSONL export format.  Loads sniff the actual bytes, so a store reads
+    checkpoints written under any format.
     """
 
     def __init__(self, root: str, study: str, study_config: object,
                  world_config: object, salt: str = "",
-                 compress: bool = True) -> None:
+                 dataset_format: str = "lshd") -> None:
+        if dataset_format not in DATASET_FORMATS:
+            raise ValueError(
+                f"dataset_format must be one of {DATASET_FORMATS}, "
+                f"got {dataset_format!r}")
         self._dir = os.path.join(os.fspath(root), study)
         self._study = study
         self._study_config = study_config
         self._world_config = world_config
         self._salt = salt
-        self._compress = compress
+        self._dataset_format = dataset_format
 
     @property
     def directory(self) -> str:
@@ -114,10 +132,7 @@ class ArtifactStore:
         return os.path.join(self._dir, f"{stage}.manifest.json")
 
     def _artifact_file(self, stage: str, name: str, kind: str) -> str:
-        if kind == KIND_DATASET:
-            suffix = "jsonl.gz" if self._compress else "jsonl"
-        else:
-            suffix = "json"
+        suffix = self._dataset_format if kind == KIND_DATASET else "json"
         return f"{stage}.{name}.{suffix}"
 
     def manifest(self, stage: Stage) -> Optional[Dict[str, object]]:
@@ -165,7 +180,9 @@ class ArtifactStore:
                     raise TypeError(
                         f"stage {stage.name!r} artifact {spec.name!r} "
                         f"declared as dataset but is {type(value).__name__}")
-                entry["records"] = dump_dataset(value, path)
+                entry["records"] = dump_dataset_lshd(value, path) \
+                    if self._dataset_format == "lshd" \
+                    else dump_dataset(value, path)
             else:
                 _atomic_write_json(path, {
                     "version": FORMAT_VERSION,
@@ -209,10 +226,28 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------ #
 
-    def invalidate(self, stages: Sequence[Stage]) -> None:
-        """Drop the manifests of the given stages (testing / forced rerun)."""
+    def invalidate(self, stages: Sequence[Stage],
+                   remove_artifacts: bool = False) -> None:
+        """Drop the manifests of the given stages (testing / forced rerun).
+
+        ``remove_artifacts=True`` also unlinks the stages' artifact
+        files, in any format a previous run may have written them.  A
+        reader holding a mapped dataset keeps reading its now-unlinked
+        segment — POSIX keeps the pages alive until the mapping closes.
+        """
         for stage in stages:
             try:
                 os.remove(self._manifest_path(stage.name))
             except OSError:
                 pass
+            if not remove_artifacts:
+                continue
+            for spec in stage.outputs:
+                suffixes = DATASET_FORMATS if spec.kind == KIND_DATASET \
+                    else ("json",)
+                for suffix in suffixes:
+                    try:
+                        os.remove(os.path.join(
+                            self._dir, f"{stage.name}.{spec.name}.{suffix}"))
+                    except OSError:
+                        pass

@@ -32,6 +32,23 @@ class TestParser:
         args = build_parser().parse_args(["--scale", "nano", "validate"])
         assert args.command == "validate"
 
+    def test_run_storage_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.merge == "memory"
+        assert args.checkpoint_format == "lshd"
+
+    def test_merge_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--merge", "tape"])
+
+    def test_checkpoint_format_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--checkpoint-format", "csv"])
+
+    def test_store_inspect_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "inspect"])
+
 
 class TestCommands:
     def test_top10k_command(self, capsys):
@@ -57,3 +74,38 @@ class TestCommands:
         assert code == 0
         content = out_file.read_text()
         assert "### Table 1" in content
+
+
+class TestStoreInspect:
+    def _segment(self, tmp_path):
+        from repro.lumscan.records import ScanDataset
+        from repro.lumscan.serialize import dump_dataset_lshd
+
+        data = ScanDataset()
+        data.append("a.com", "US", 200, 9_000, None)
+        data.append("a.com", "IR", 403, 480, "<html>block</html>")
+        path = str(tmp_path / "scan.lshd")
+        dump_dataset_lshd(data, path)
+        return path
+
+    def test_inspect_prints_header(self, tmp_path, capsys):
+        path = self._segment(tmp_path)
+        assert main(["store", "inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "rows:        2" in out
+        assert "fingerprint:" in out
+        assert "dcodes" in out and "lengths" in out
+        assert "bodies" in out and "interfered" in out
+
+    def test_inspect_rejects_non_lshd(self, tmp_path):
+        from repro.lumscan.records import ScanDataset
+        from repro.lumscan.serialize import dump_dataset
+
+        path = str(tmp_path / "scan.jsonl.gz")
+        dump_dataset(ScanDataset(), path)
+        with pytest.raises(SystemExit, match="not an LSHD segment"):
+            main(["store", "inspect", path])
+
+    def test_inspect_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "inspect", str(tmp_path / "nope.lshd")])

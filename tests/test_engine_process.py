@@ -294,6 +294,80 @@ class TestShardExchange:
             _encoded(expected, tmp_path, "serial")
 
 
+class TestSpillMerge:
+    @pytest.fixture(scope="class")
+    def serial(self, nano_world):
+        client = LuminatiClient(nano_world)
+        urls = _clean_urls(nano_world, 14)
+        countries = client.countries()[:4]
+        data = Lumscan(client, seed=11).scan(urls, countries, samples=3)
+        return urls, countries, data
+
+    def test_spill_merge_byte_identical_to_serial(self, nano_world, serial,
+                                                  tmp_path):
+        # The spill-backed merge streams worker shards to disk instead of
+        # RAM; the mapped result must still serialize byte-for-byte like
+        # a serial scan.
+        urls, countries, expected = serial
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=16, executor="process",
+                            merge="spill", spill_dir=str(tmp_path))
+        data = engine.scan(urls, countries, samples=3)
+        try:
+            assert data.is_mapped
+            assert _rows(data) == _rows(expected)
+            assert _encoded(data, tmp_path, "spill") == \
+                _encoded(expected, tmp_path, "serial")
+        finally:
+            data.close()
+
+    def test_spill_leaves_no_files_behind(self, nano_world, serial,
+                                          tmp_path):
+        urls, countries, _ = serial
+        spill = tmp_path / "ckpt"
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=16, executor="process",
+                            merge="spill", spill_dir=str(spill))
+        data = engine.scan(urls, countries, samples=3)
+        try:
+            # The transient segment is unlinked once mapped, so nothing
+            # survives under the spill root even while the dataset lives.
+            leftovers = [os.path.join(root, name)
+                         for root, dirs, files in os.walk(spill)
+                         for name in list(dirs) + list(files)]
+            assert leftovers == []
+            assert len(data) == len(serial[2])
+        finally:
+            data.close()
+
+    def test_spill_worker_failure_cleans_up(self, nano_world, serial,
+                                            tmp_path, monkeypatch):
+        urls, countries, _ = serial
+        monkeypatch.setattr(engine_mod, "_process_run_chunk",
+                            _exploding_run_chunk)
+        spill = tmp_path / "ckpt"
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=8, executor="process",
+                            exchange="file", merge="spill",
+                            spill_dir=str(spill),
+                            target_chunk_seconds=None)
+        with pytest.raises(RuntimeError, match="chunk 2 exploded"):
+            engine.scan(urls, countries, samples=3)
+        leftovers = [os.path.join(root, name)
+                     for root, dirs, files in os.walk(spill)
+                     for name in list(dirs) + list(files)]
+        assert leftovers == []
+
+    def test_spill_requires_process_executor(self, nano_luminati):
+        with pytest.raises(ValueError, match="merge='spill'"):
+            ScanEngine(Lumscan(nano_luminati, seed=3), merge="spill")
+
+    def test_unknown_merge_rejected(self, nano_luminati):
+        with pytest.raises(ValueError, match="merge must be"):
+            ScanEngine(Lumscan(nano_luminati, seed=3), executor="process",
+                       merge="tape")
+
+
 class TestAbsorptionTokens:
     def test_duplicate_token_rejected(self, nano_world):
         scanner = Lumscan(LuminatiClient(nano_world), seed=5)

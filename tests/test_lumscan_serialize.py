@@ -1,9 +1,18 @@
-"""Tests for JSONL dataset persistence."""
+"""Tests for dataset persistence: LSHD segments, JSONL, and sniffing."""
+
+import os
 
 import pytest
 
 from repro.lumscan.records import NO_RESPONSE, ScanDataset
-from repro.lumscan.serialize import dump_dataset, load_dataset
+from repro.lumscan.serialize import (
+    dump_dataset,
+    dump_dataset_lshd,
+    load_dataset,
+    sniff_format,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 
 
 def _dataset():
@@ -125,10 +134,99 @@ class TestGzip:
         assert len(load_dataset(path)) == 0
 
 
+class TestLSHD:
+    def test_mapped_roundtrip_preserves_records(self, tmp_path):
+        original = _dataset()
+        path = tmp_path / "scan.lshd"
+        assert dump_dataset_lshd(original, path) == len(original)
+        loaded = load_dataset(path)
+        try:
+            assert loaded.is_mapped
+            for i in range(len(original)):
+                assert loaded.row(i) == original.row(i)
+        finally:
+            loaded.close()
+
+    def test_materialized_load_copies_and_releases(self, tmp_path):
+        path = tmp_path / "scan.lshd"
+        dump_dataset_lshd(_dataset(), path)
+        loaded = load_dataset(path, mmap=False)
+        assert not loaded.is_mapped
+        os.remove(path)  # no mapping holds the file
+        assert loaded.row(3) == _dataset().row(3)
+        # A materialized dataset stays growable like any other.
+        loaded.append("d.com", "DE", 200, 1, None)
+        assert len(loaded) == 5
+
+    def test_lshd_bytes_are_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.lshd", tmp_path / "b.lshd"
+        dump_dataset_lshd(_dataset(), a)
+        dump_dataset_lshd(_dataset(), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_empty_lshd_dataset(self, tmp_path):
+        path = tmp_path / "empty.lshd"
+        assert dump_dataset_lshd(ScanDataset(), path) == 0
+        data = load_dataset(path)
+        try:
+            assert len(data) == 0
+        finally:
+            data.close()
+
+    def test_pairs_and_runs_on_mapped_dataset(self, tmp_path):
+        original = ScanDataset()
+        for _ in range(3):
+            original.append("run.example", "US", 200, 100, None)
+        for _ in range(2):
+            original.append("run.example", "IR", 403, 50, "blocked")
+        path = tmp_path / "runs.lshd"
+        dump_dataset_lshd(original, path)
+        loaded = load_dataset(path)
+        try:
+            runs = [(d, c, len(s)) for d, c, s in loaded.pairs()]
+            assert runs == [("run.example", "US", 3),
+                            ("run.example", "IR", 2)]
+        finally:
+            loaded.close()
+
+
+class TestSniffing:
+    def test_sniffs_each_format(self, tmp_path):
+        dump_dataset(_dataset(), tmp_path / "a")
+        dump_dataset(_dataset(), tmp_path / "b.gz")
+        dump_dataset_lshd(_dataset(), tmp_path / "c")
+        assert sniff_format(tmp_path / "a") == "jsonl"
+        assert sniff_format(tmp_path / "b.gz") == "jsonl.gz"
+        assert sniff_format(tmp_path / "c") == "lshd"
+
+    def test_extension_is_never_trusted(self, tmp_path):
+        # An LSHD segment under a legacy extension still loads as LSHD.
+        path = tmp_path / "scan.jsonl.gz"
+        dump_dataset_lshd(_dataset(), path)
+        loaded = load_dataset(path)
+        try:
+            assert loaded.is_mapped
+            assert loaded.row(0) == _dataset().row(0)
+        finally:
+            loaded.close()
+
+    def test_legacy_gzip_fixture_still_loads(self):
+        # Frozen bytes from the pre-columnar gzip-JSONL writer: the
+        # loader must keep reading checkpoints written before LSHD
+        # became the default format.
+        path = os.path.join(FIXTURES, "legacy_scan.jsonl.gz")
+        assert sniff_format(path) == "jsonl.gz"
+        loaded = load_dataset(path)
+        assert len(loaded) == 4
+        for i in range(4):
+            assert loaded.row(i) == _dataset().row(i)
+
+
 class TestAtomicity:
     def test_no_temp_files_left_behind(self, tmp_path):
         dump_dataset(_dataset(), tmp_path / "scan.jsonl")
         dump_dataset(_dataset(), tmp_path / "scan.jsonl.gz")
+        dump_dataset_lshd(_dataset(), tmp_path / "scan.lshd")
         leftovers = [p.name for p in tmp_path.iterdir()
                      if ".tmp." in p.name]
         assert leftovers == []

@@ -18,13 +18,18 @@ from repro.lumscan.shards import (
     KIND_FILE,
     KIND_SHM,
     ExchangeSpec,
+    SegmentMapping,
     ShardExchange,
+    SpillDatasetBuilder,
+    decode_shard,
     encode_shard,
     open_shard,
     payload_base,
+    read_segment_header,
     release_shard,
     resolve_mode,
     shm_available,
+    write_segment_file,
     write_shard,
 )
 
@@ -177,6 +182,159 @@ class TestShardExchange:
         assert resolve_mode("file") == KIND_FILE
         with pytest.raises(ValueError):
             resolve_mode("pigeon")
+
+
+class TestSegmentFile:
+    def test_roundtrip_preserves_rows(self, tmp_path):
+        source = _sample_dataset()
+        target = str(tmp_path / "data.lshd")
+        total = write_segment_file(source.export_columns(), target)
+        assert total == os.path.getsize(target)
+        mapping = SegmentMapping(target)
+        try:
+            merged = ScanDataset()
+            merged.extend_columns(decode_shard(mapping.buffer))
+        finally:
+            assert mapping.close()
+        assert _rows(merged) == _rows(source)
+
+    def test_fingerprinted_and_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.lshd"), str(tmp_path / "b.lshd")
+        write_segment_file(_sample_dataset().export_columns(), a)
+        write_segment_file(_sample_dataset().export_columns(), b)
+        with open(a, "rb") as fh:
+            blob_a = fh.read()
+        with open(b, "rb") as fh:
+            blob_b = fh.read()
+        assert blob_a == blob_b
+        header = read_segment_header(a)
+        assert header["fingerprint"] == read_segment_header(b)["fingerprint"]
+        assert len(header["fingerprint"]) == 32  # blake2b-128 hex
+
+    def test_no_temp_residue(self, tmp_path):
+        write_segment_file(_sample_dataset().export_columns(),
+                           str(tmp_path / "data.lshd"))
+        assert sorted(os.listdir(tmp_path)) == ["data.lshd"]
+
+    def test_header_reads_without_mapping_payload(self, tmp_path):
+        source = _sample_dataset()
+        target = str(tmp_path / "data.lshd")
+        write_segment_file(source.export_columns(), target)
+        header = read_segment_header(target)
+        assert header["n"] == len(source)
+        assert [name for name, _, _, _ in header["columns"]] \
+            == ["dcodes", "ccodes", "statuses", "lengths", "ecodes"]
+        assert [name for name, _, _ in header["json"]] \
+            == ["domains", "countries", "errors", "bodies", "interfered"]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.lshd"
+        bogus.write_bytes(b"not a segment at all")
+        with pytest.raises(ValueError):
+            read_segment_header(str(bogus))
+
+    def test_truncated_header_rejected(self, tmp_path):
+        target = str(tmp_path / "data.lshd")
+        write_segment_file(_sample_dataset().export_columns(), target)
+        with open(target, "rb") as fh:
+            blob = fh.read()
+        short = tmp_path / "short.lshd"
+        short.write_bytes(blob[:10])
+        with pytest.raises(ValueError):
+            read_segment_header(str(short))
+
+
+class TestSegmentMapping:
+    def test_close_without_views_succeeds(self, tmp_path):
+        target = str(tmp_path / "data.lshd")
+        write_segment_file(_sample_dataset().export_columns(), target)
+        mapping = SegmentMapping(target)
+        assert not mapping.closed
+        assert mapping.close() is True
+        assert mapping.closed
+        with pytest.raises(ValueError):
+            mapping.buffer
+
+    def test_close_with_live_view_reports_false(self, tmp_path):
+        target = str(tmp_path / "data.lshd")
+        write_segment_file(_sample_dataset().export_columns(), target)
+        mapping = SegmentMapping(target)
+        columns = decode_shard(mapping.buffer)
+        view = columns.dcodes
+        assert mapping.close() is False   # view pins the mapping
+        assert int(view[0]) == 0          # ...and stays readable
+        del columns, view
+        assert mapping.close() is True
+
+    def test_close_is_idempotent(self, tmp_path):
+        target = str(tmp_path / "data.lshd")
+        write_segment_file(_sample_dataset().export_columns(), target)
+        mapping = SegmentMapping(target)
+        assert mapping.close() is True
+        assert mapping.close() is True
+
+
+class TestSpillDatasetBuilder:
+    def test_bit_identical_to_in_memory_merge(self, tmp_path):
+        # The streaming builder's segment must equal the sequential
+        # writer's for the same merged rows — the spill merge's core
+        # correctness invariant.
+        shard_a = _sample_dataset()
+        shard_b = ScanDataset()
+        shard_b.append("delta.example", "RU", 451, 77, "<html>legal</html>")
+        shard_b.append("alpha.example", "CN", 200, 55, None)
+
+        merged = ScanDataset()
+        merged.extend_columns(shard_a.export_columns())
+        merged.extend_columns(shard_b.export_columns())
+        reference = str(tmp_path / "reference.lshd")
+        write_segment_file(merged.export_columns(), reference)
+
+        builder = SpillDatasetBuilder(directory=str(tmp_path))
+        builder.extend_columns(shard_a.export_columns())
+        builder.extend_columns(shard_b.export_columns())
+        assert len(builder) == len(merged)
+        streamed = str(tmp_path / "streamed.lshd")
+        data = builder.finalize(streamed)
+        try:
+            with open(reference, "rb") as fh:
+                ref_blob = fh.read()
+            with open(streamed, "rb") as fh:
+                spill_blob = fh.read()
+            assert spill_blob == ref_blob
+            assert data.is_mapped
+            assert _rows(data) == _rows(merged)
+        finally:
+            data.close()
+
+    def test_transient_finalize_unlinks_segment(self, tmp_path):
+        builder = SpillDatasetBuilder(directory=str(tmp_path))
+        builder.extend_columns(_sample_dataset().export_columns())
+        data = builder.finalize()
+        try:
+            # The anonymous segment is unlinked immediately (POSIX keeps
+            # the pages alive), so nothing lingers in the spill dir.
+            assert os.listdir(tmp_path) == []
+            assert _rows(data) == _rows(_sample_dataset())
+        finally:
+            data.close()
+
+    def test_empty_builder_finalizes(self, tmp_path):
+        builder = SpillDatasetBuilder(directory=str(tmp_path))
+        data = builder.finalize()
+        try:
+            assert len(data) == 0
+        finally:
+            data.close()
+
+    def test_abort_removes_spill_directory(self, tmp_path):
+        builder = SpillDatasetBuilder(directory=str(tmp_path))
+        builder.extend_columns(_sample_dataset().export_columns())
+        spill = builder.directory
+        assert os.path.isdir(spill)
+        builder.abort()
+        assert not os.path.exists(spill)
+        builder.abort()  # idempotent
 
 
 class TestChunkReorderBuffer:

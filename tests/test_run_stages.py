@@ -180,7 +180,7 @@ class TestArtifactStore:
     def test_missing_artifact_file_invalidates(self, tmp_path):
         store = _store(tmp_path)
         store.save_stage(_STAGE, {"initial": _dataset(), "notes": []})
-        (tmp_path / "study" / "scan.initial.jsonl.gz").unlink()
+        (tmp_path / "study" / "scan.initial.lshd").unlink()
         assert store.manifest(_STAGE) is None
 
     def test_invalidate_drops_manifest_only(self, tmp_path):
@@ -189,15 +189,48 @@ class TestArtifactStore:
         store.invalidate([_STAGE])
         assert store.manifest(_STAGE) is None
         # Artifact files survive — only completion is revoked.
-        assert (tmp_path / "study" / "scan.initial.jsonl.gz").exists()
+        assert (tmp_path / "study" / "scan.initial.lshd").exists()
 
-    def test_uncompressed_mode(self, tmp_path):
+    def test_invalidate_can_remove_artifacts(self, tmp_path):
+        store = _store(tmp_path)
+        store.save_stage(_STAGE, {"initial": _dataset(), "notes": []})
+        store.invalidate([_STAGE], remove_artifacts=True)
+        assert store.manifest(_STAGE) is None
+        assert not (tmp_path / "study" / "scan.initial.lshd").exists()
+        assert not (tmp_path / "study" / "scan.notes.json").exists()
+
+    def test_default_format_is_mmapped_lshd(self, tmp_path):
+        store = _store(tmp_path)
+        store.save_stage(_STAGE, {"initial": _dataset(), "notes": []})
+        loaded = store.load_stage(_STAGE)["initial"]
+        assert loaded.is_mapped
+        assert [loaded.row(i) for i in range(3)] \
+            == [_dataset().row(i) for i in range(3)]
+
+    def test_jsonl_format_mode(self, tmp_path):
         store = ArtifactStore(str(tmp_path), "study", {"seed": 1}, {"n": 1},
-                              compress=False)
+                              dataset_format="jsonl")
         store.save_stage(_STAGE, {"initial": _dataset(), "notes": []})
         assert (tmp_path / "study" / "scan.initial.jsonl").exists()
         assert store.load_stage(_STAGE)["initial"].row(1) \
             == _dataset().row(1)
+
+    def test_cross_format_resume(self, tmp_path):
+        # A store in one format reads checkpoints written under another:
+        # the manifest records the actual filename and loads sniff bytes.
+        old = ArtifactStore(str(tmp_path), "study", {"seed": 1}, {"n": 10},
+                            dataset_format="jsonl.gz")
+        old.save_stage(_STAGE, {"initial": _dataset(), "notes": ["n1"]})
+        new = _store(tmp_path)
+        assert new.manifest(_STAGE) is not None
+        loaded = new.load_stage(_STAGE)["initial"]
+        assert not loaded.is_mapped
+        assert loaded.row(2) == _dataset().row(2)
+
+    def test_bad_dataset_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(str(tmp_path), "study", {}, {},
+                          dataset_format="csv")
 
     def test_dataset_type_enforced(self, tmp_path):
         with pytest.raises(TypeError):
