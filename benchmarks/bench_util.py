@@ -1,0 +1,77 @@
+"""Shared helpers for the benchmark suite.
+
+The benchmark files each kept private copies of the same three pieces of
+bookkeeping — best-of-N wall-clock timing, the ``BENCH_*.json``
+trajectory writer, and the cpu-count/oversubscription annotations that
+keep single-core runner numbers from being misread as scaling results.
+They live here once, so every benchmark reports identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+#: Directory the BENCH_*.json trajectory files land in (the repo root).
+RESULTS_DIR = Path(__file__).resolve().parent.parent
+
+
+def results_path(name: str) -> Path:
+    """Path of one benchmark's trajectory file, e.g. ``BENCH_store.json``."""
+    return RESULTS_DIR / f"BENCH_{name}.json"
+
+
+def best_of(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds of ``fn()``.
+
+    Best-of (not mean) filters scheduler noise; benchmarks that need a
+    cold-state run per repeat pass ``repeat=1`` and loop themselves.
+    """
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def write_trajectory(name: str, key: str, payload: dict) -> None:
+    """Merge one benchmark result into ``BENCH_<name>.json``.
+
+    The file accumulates a key->payload map across tests of one
+    benchmark module; CI archives it per commit to keep a trajectory.
+    """
+    path = results_path(name)
+    record = {}
+    if path.exists():
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    record[key] = payload
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def cpu_count() -> int:
+    """The runner's CPU count (never 0)."""
+    return os.cpu_count() or 1
+
+
+def oversubscription_fields(workers: int) -> Dict[str, object]:
+    """The bookkeeping every multi-worker measurement must carry.
+
+    A pool wider than the machine measures pool overhead, not parallel
+    scaling — the ``oversubscribed`` flag keeps such points from being
+    read as "parallelism loses to serial" on a 1-CPU runner.
+    """
+    cpus = cpu_count()
+    return {"cpus": cpus, "oversubscribed": cpus < workers}
+
+
+def oversubscription_note(workers: int) -> str:
+    """Human-readable caveat for an oversubscribed measurement set."""
+    return (f"runner has {cpu_count()} cpu(s); entries with workers > cpus "
+            f"measure pool overhead, not parallel scaling")

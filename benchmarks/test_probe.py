@@ -23,11 +23,14 @@ trajectory across commits.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
+from bench_util import (
+    cpu_count,
+    oversubscription_fields,
+    oversubscription_note,
+    write_trajectory,
+)
 from repro.httpsim.messages import BodyPolicy
 from repro.lumscan.engine import ScanEngine
 from repro.lumscan.scanner import Lumscan
@@ -44,7 +47,6 @@ EXECUTOR_COUNTRIES = 20
 SAMPLES = 3
 WORKERS = 4
 MIN_FASTLANE_SPEEDUP = 2.0
-_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_probe.json"
 
 
 def _fresh_world() -> World:
@@ -83,17 +85,6 @@ def _timed_scan(scanner_factory, repeat: int = 2, n_countries=COUNTRIES):
     return data, best_rate, best_elapsed
 
 
-def _write_trajectory(key: str, payload: dict) -> None:
-    record = {}
-    if _RESULTS_PATH.exists():
-        try:
-            record = json.loads(_RESULTS_PATH.read_text())
-        except json.JSONDecodeError:
-            record = {}
-    record[key] = payload
-    _RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-
-
 def test_fast_lane_speedup_single_worker():
     full, full_rate, full_time = _timed_scan(
         lambda world: Lumscan(LuminatiClient(world), seed=SCAN_SEED,
@@ -108,7 +99,7 @@ def test_fast_lane_speedup_single_worker():
     print(f"\nfast lane: full {full_rate:,.0f} probes/s ({full_time:.2f}s), "
           f"elided {fast_rate:,.0f} probes/s ({fast_time:.2f}s), "
           f"speedup {speedup:.2f}x")
-    _write_trajectory("fast_lane_single_worker", {
+    write_trajectory("probe", "fast_lane_single_worker", {
         "probes": len(full),
         "full_probes_per_sec": round(full_rate, 1),
         "fastlane_probes_per_sec": round(fast_rate, 1),
@@ -126,7 +117,7 @@ def _process_engine_factory(workers: int, exchange: str):
 
 
 def test_executor_scaling():
-    cpus = os.cpu_count() or 1
+    cpus = cpu_count()
     serial, serial_rate, _ = _timed_scan(
         lambda world: Lumscan(LuminatiClient(world), seed=SCAN_SEED),
         n_countries=EXECUTOR_COUNTRIES)
@@ -145,11 +136,10 @@ def test_executor_scaling():
     # The multi-core scaling curve: shard exchange across worker counts,
     # plus the legacy pickle return path at full width for comparison.
     # Single-repeat per point keeps the curve affordable; the headline
-    # numbers above stay best-of-2.  Every point records the runner's CPU
-    # count, and points where the pool is wider than the machine are
-    # flagged ``oversubscribed`` — on a 1-CPU runner a 4-worker entry
-    # measures process overhead, not scaling, and must not be read as
-    # "parallelism loses to serial".
+    # numbers above stay best-of-2.  Every point carries the shared
+    # cpu-count/oversubscription fields (see bench_util) — on a 1-CPU
+    # runner a 4-worker entry measures process overhead, not scaling,
+    # and must not be read as "parallelism loses to serial".
     curve = []
     for workers in sorted({1, 2, WORKERS, min(WORKERS, cpus)}):
         if workers == WORKERS:
@@ -160,17 +150,17 @@ def test_executor_scaling():
                 repeat=1, n_countries=EXECUTOR_COUNTRIES)
             assert _rows(point) == _rows(serial)
         curve.append({"workers": workers, "exchange": "shard",
-                      "cpus": cpus, "oversubscribed": cpus < workers,
                       "probes_per_sec": round(rate, 1),
-                      "seconds": round(elapsed, 2)})
+                      "seconds": round(elapsed, 2),
+                      **oversubscription_fields(workers)})
     pickled, pickle_rate, pickle_time = _timed_scan(
         _process_engine_factory(WORKERS, "pickle"),
         repeat=1, n_countries=EXECUTOR_COUNTRIES)
     assert _rows(pickled) == _rows(serial)
     curve.append({"workers": WORKERS, "exchange": "pickle",
-                  "cpus": cpus, "oversubscribed": cpus < WORKERS,
                   "probes_per_sec": round(pickle_rate, 1),
-                  "seconds": round(pickle_time, 2)})
+                  "seconds": round(pickle_time, 2),
+                  **oversubscription_fields(WORKERS)})
 
     print(f"\nexecutors ({cpus} cpus, {WORKERS} workers): "
           f"serial {serial_rate:,.0f} probes/s, "
@@ -192,10 +182,8 @@ def test_executor_scaling():
         "scaling_curve": curve,
     }
     if any(point["oversubscribed"] for point in curve):
-        payload["note"] = (
-            f"runner has {cpus} cpu(s); entries with workers > cpus "
-            "measure pool overhead, not parallel scaling")
-    _write_trajectory("executor_scaling", payload)
+        payload["note"] = oversubscription_note(WORKERS)
+    write_trajectory("probe", "executor_scaling", payload)
     if cpus >= 2:
         # The simulated transport never blocks, so threads are GIL-bound
         # and the process pool is the only shape that can actually scale.

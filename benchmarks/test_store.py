@@ -21,39 +21,17 @@ across commits and gates on the load speedup.
 
 from __future__ import annotations
 
-import json
-import time
 from pathlib import Path
 
 import pytest
 
+from bench_util import best_of as _time, write_trajectory
 from repro.lumscan.serialize import dump_dataset, dump_dataset_lshd, load_dataset
 
 from test_columnar import _synthetic_dataset
 
 ROWS = 120_000
 MIN_LOAD_SPEEDUP = 5.0
-_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
-
-
-def _time(fn, repeat: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _write_trajectory(key: str, payload: dict) -> None:
-    record = {}
-    if _RESULTS_PATH.exists():
-        try:
-            record = json.loads(_RESULTS_PATH.read_text())
-        except json.JSONDecodeError:
-            record = {}
-    record[key] = payload
-    _RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -105,7 +83,7 @@ def test_mmap_load_speedup(checkpoints):
     print(f"\nstore load ({len(dataset):,} rows): "
           f"gzip-jsonl {jsonl_load_s:.3f}s, "
           f"lshd-mmap {lshd_load_s:.4f}s, speedup {speedup:.1f}x")
-    _write_trajectory("load", {
+    write_trajectory("store", "load", {
         "rows": len(dataset),
         "jsonl_gz_s": round(jsonl_load_s, 4),
         "lshd_mmap_s": round(lshd_load_s, 4),
@@ -125,7 +103,7 @@ def test_save_comparison(checkpoints):
           f"gzip-jsonl {jsonl_save_s:.3f}s/{jsonl_bytes:,}B, "
           f"lshd {lshd_save_s:.3f}s/{lshd_bytes:,}B, "
           f"speedup {speedup:.1f}x")
-    _write_trajectory("save", {
+    write_trajectory("store", "save", {
         "rows": len(dataset),
         "jsonl_gz_s": round(jsonl_save_s, 4),
         "jsonl_gz_bytes": jsonl_bytes,

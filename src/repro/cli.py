@@ -175,22 +175,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(list(args.lint_args))
 
 
-def _cmd_store_inspect(args: argparse.Namespace) -> int:
+def _print_segment_header(path: str, header: dict) -> None:
     import os
 
     import numpy as np
 
-    from repro.lumscan.serialize import sniff_format
-    from repro.lumscan.shards import read_segment_header
-
-    path = args.path
-    try:
-        fmt = sniff_format(path)
-    except OSError as exc:
-        raise SystemExit(f"{path}: {exc}")
-    if fmt != "lshd":
-        raise SystemExit(f"{path}: not an LSHD segment (looks like {fmt})")
-    header = read_segment_header(path)
     size = os.stat(path).st_size
     print(f"segment:     {path}")
     print(f"version:     {header.get('version')}")
@@ -206,6 +195,75 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     print("json sections:")
     for name, offset, nbytes in header.get("json", []):
         print(f"  {name:10s}      offset={offset:<10d} bytes={nbytes}")
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    from repro.lumscan.serialize import sniff_format
+    from repro.lumscan.shards import read_manifest, read_segment_header
+
+    path = args.path
+    try:
+        fmt = sniff_format(path)
+    except OSError as exc:
+        raise SystemExit(f"{path}: {exc}")
+    if fmt == "lshd":
+        try:
+            header = read_segment_header(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"{path}: {exc}")
+        _print_segment_header(path, header)
+        return 0
+    if fmt == "lshm":
+        try:
+            manifest = read_manifest(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"{path}: {exc}")
+        print(f"manifest:    {path}")
+        print(f"rows:        {manifest.rows}")
+        print(f"segments:    {len(manifest.entries)}")
+        print(f"fingerprint: {manifest.fingerprint}")
+        for index, entry in enumerate(manifest.entries):
+            print(f"  [{index}] {entry.file}  rows={entry.rows}  "
+                  f"fingerprint={entry.fingerprint}")
+        return 0
+    raise SystemExit(f"{path}: not an LSHD segment or LSHM manifest "
+                     f"(looks like {fmt}; legacy JSONL checkpoints are "
+                     f"loadable but carry no columnar header)")
+
+
+def _cmd_store_append(args: argparse.Namespace) -> int:
+    from repro.lumscan.serialize import load_dataset
+    from repro.lumscan.shards import append_segment
+
+    try:
+        dataset = load_dataset(args.dataset)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{args.dataset}: {exc}")
+    try:
+        manifest = append_segment(args.manifest, dataset.export_columns())
+    finally:
+        dataset.close()
+    entry = manifest.entries[-1]
+    print(f"appended {entry.rows} rows as {entry.file}")
+    print(f"manifest:    {args.manifest}")
+    print(f"rows:        {manifest.rows}")
+    print(f"segments:    {len(manifest.entries)}")
+    print(f"fingerprint: {manifest.fingerprint}")
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from repro.lumscan.shards import compact_manifest, read_manifest
+
+    try:
+        before = read_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{args.manifest}: {exc}")
+    manifest = compact_manifest(args.manifest)
+    entry = manifest.entries[0]
+    print(f"compacted {len(before.entries)} segments -> {entry.file}")
+    print(f"rows:        {manifest.rows}")
+    print(f"fingerprint: {manifest.fingerprint}")
     return 0
 
 
@@ -271,9 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "per chunk; 0 keeps a fixed chunk size "
                           "(default: 250)")
     run.add_argument("--checkpoint-format", default="lshd",
-                     choices=("lshd", "jsonl.gz", "jsonl"),
-                     help="dataset codec for checkpoints; loads sniff magic "
-                          "bytes so resume works across formats "
+                     choices=("lshd", "lshm", "jsonl.gz", "jsonl"),
+                     help="dataset codec for checkpoints; 'lshm' writes "
+                          "manifest-backed multi-segment datasets; loads "
+                          "sniff magic bytes so resume works across formats "
                           "(default: lshd)")
     run.set_defaults(func=_cmd_run)
 
@@ -310,13 +369,27 @@ def build_parser() -> argparse.ArgumentParser:
     stability.set_defaults(func=_cmd_stability)
 
     store = sub.add_parser(
-        "store", help="inspect on-disk dataset artifacts")
+        "store", help="inspect and maintain on-disk dataset artifacts")
     store_sub = store.add_subparsers(dest="store_command", required=True)
     inspect = store_sub.add_parser(
-        "inspect", help="print an LSHD segment's header without mapping "
-                        "its column buffers")
-    inspect.add_argument("path", help="path to an .lshd segment file")
+        "inspect", help="print an LSHD segment's header or an LSHM "
+                        "manifest's segment list without mapping column "
+                        "buffers")
+    inspect.add_argument("path", help="path to an .lshd segment or .lshm "
+                                      "manifest file")
     inspect.set_defaults(func=_cmd_store_inspect)
+    append = store_sub.add_parser(
+        "append", help="append a dataset file to an .lshm manifest as one "
+                       "new segment (creates the manifest if missing)")
+    append.add_argument("manifest", help="path to the .lshm manifest")
+    append.add_argument("dataset", help="dataset file to append (any "
+                                        "supported format)")
+    append.set_defaults(func=_cmd_store_append)
+    compact = store_sub.add_parser(
+        "compact", help="merge an .lshm manifest's segments into one, "
+                        "byte-identical to a sequential rewrite")
+    compact.add_argument("manifest", help="path to the .lshm manifest")
+    compact.set_defaults(func=_cmd_store_compact)
 
     lint = sub.add_parser(
         "lint", help="run the determinism/concurrency-purity linter",

@@ -191,6 +191,7 @@ SERIALIZATION_SINKS = frozenset({
     "_atomic_write_json",
     "encode_shard", "write_shard", "decode_shard",
     "write_segment_file", "dump_dataset_lshd",
+    "write_manifest", "dump_dataset_manifest",
 })
 
 #: Functions whose own body *is* a serializer (context even without a
@@ -199,6 +200,7 @@ SERIALIZATION_FUNCTIONS = frozenset({
     "encode_artifact", "dump_dataset", "save_report",
     "encode_shard", "write_shard", "decode_shard",
     "write_segment_file", "dump_dataset_lshd",
+    "write_manifest", "dump_dataset_manifest",
 })
 
 #: Entry points of the scan-engine worker surface.  Reachability for the

@@ -8,6 +8,12 @@ Layout under the checkpoint root::
                                                 segments, mmap-loaded;
                                                 ``dataset_format`` selects
                                                 the legacy JSONL flavors)
+    <root>/<study>/<stage>.<artifact>.lshm      manifest-backed datasets:
+                                                a canonical-JSON list of
+                                                content-addressed segment
+                                                files beside it — rescans
+                                                append a segment instead
+                                                of rewriting history
 
 Every stage is keyed by a **fingerprint**: a SHA-256 over the canonical
 JSON of ``(StudyConfig, WorldConfig, study name, stage name)`` plus an
@@ -31,12 +37,15 @@ import json
 import os
 from typing import Dict, Optional, Sequence
 
-from repro.lumscan.records import ScanDataset
+from repro.lumscan.records import DatasetReader, ScanDataset, \
+    SegmentedScanDataset
 from repro.lumscan.serialize import (
     dump_dataset,
     dump_dataset_lshd,
+    dump_dataset_manifest,
     load_dataset,
 )
+from repro.lumscan.shards import read_manifest
 from repro.run.codecs import decode_artifact, encode_artifact
 from repro.run.stage import KIND_DATASET, KIND_JSON, Stage
 
@@ -46,7 +55,7 @@ FORMAT_VERSION = 1
 #: Dataset codecs a store can write (suffix doubles as the format name).
 #: Loading always sniffs magic bytes, so checkpoints in any format —
 #: including pre-columnar ``.jsonl.gz`` ones — stay loadable.
-DATASET_FORMATS = ("lshd", "jsonl.gz", "jsonl")
+DATASET_FORMATS = ("lshd", "lshm", "jsonl.gz", "jsonl")
 
 
 def _jsonable_config(config: object) -> object:
@@ -97,9 +106,12 @@ class ArtifactStore:
     ``salt`` folds non-config stage inputs into every fingerprint (pass a
     digest of e.g. an inherited registry); ``dataset_format`` selects the
     dataset codec — ``"lshd"`` (the default) writes mmap-loadable
-    columnar segments, ``"jsonl.gz"`` / ``"jsonl"`` keep the row-oriented
-    JSONL export format.  Loads sniff the actual bytes, so a store reads
-    checkpoints written under any format.
+    columnar segments, ``"lshm"`` writes manifest-backed multi-segment
+    datasets keyed by manifest fingerprint (a re-checkpoint of a logical
+    dataset that grew by one rescan segment reuses the existing segment
+    files and costs O(new rows)), ``"jsonl.gz"`` / ``"jsonl"`` keep the
+    row-oriented JSONL export format.  Loads sniff the actual bytes, so
+    a store reads checkpoints written under any format.
     """
 
     def __init__(self, root: str, study: str, study_config: object,
@@ -176,13 +188,18 @@ class ArtifactStore:
             entry: Dict[str, object] = {"name": spec.name, "kind": spec.kind,
                                         "file": filename}
             if spec.kind == KIND_DATASET:
-                if not isinstance(value, ScanDataset):
+                if not isinstance(value, (ScanDataset, SegmentedScanDataset)):
                     raise TypeError(
                         f"stage {stage.name!r} artifact {spec.name!r} "
                         f"declared as dataset but is {type(value).__name__}")
-                entry["records"] = dump_dataset_lshd(value, path) \
-                    if self._dataset_format == "lshd" \
-                    else dump_dataset(value, path)
+                if self._dataset_format == "lshd":
+                    entry["records"] = dump_dataset_lshd(value, path)
+                elif self._dataset_format == "lshm":
+                    entry["records"] = dump_dataset_manifest(value, path)
+                    entry["manifest_fingerprint"] = \
+                        read_manifest(path).fingerprint
+                else:
+                    entry["records"] = dump_dataset(value, path)
             else:
                 _atomic_write_json(path, {
                     "version": FORMAT_VERSION,
@@ -231,9 +248,12 @@ class ArtifactStore:
         """Drop the manifests of the given stages (testing / forced rerun).
 
         ``remove_artifacts=True`` also unlinks the stages' artifact
-        files, in any format a previous run may have written them.  A
-        reader holding a mapped dataset keeps reading its now-unlinked
-        segment — POSIX keeps the pages alive until the mapping closes.
+        files, in any format a previous run may have written them; a
+        ``.lshm`` manifest takes its referenced segment files with it
+        (they are content-addressed per artifact, never shared across
+        stages).  A reader holding a mapped dataset keeps reading its
+        now-unlinked segments — POSIX keeps the pages alive until the
+        mapping closes.
         """
         for stage in stages:
             try:
@@ -246,8 +266,29 @@ class ArtifactStore:
                 suffixes = DATASET_FORMATS if spec.kind == KIND_DATASET \
                     else ("json",)
                 for suffix in suffixes:
+                    path = os.path.join(
+                        self._dir, f"{stage.name}.{spec.name}.{suffix}")
+                    if suffix == "lshm":
+                        self._remove_manifest_artifact(path)
+                        continue
                     try:
-                        os.remove(os.path.join(
-                            self._dir, f"{stage.name}.{spec.name}.{suffix}"))
+                        os.remove(path)
                     except OSError:
                         pass
+
+    @staticmethod
+    def _remove_manifest_artifact(path: str) -> None:
+        """Unlink a ``.lshm`` artifact and every segment it references."""
+        try:
+            manifest = read_manifest(path)
+        except (OSError, ValueError):
+            return
+        for segment in manifest.segment_paths():
+            try:
+                os.remove(segment)
+            except OSError:
+                pass
+        try:
+            os.remove(path)
+        except OSError:
+            pass

@@ -21,7 +21,7 @@ from __future__ import annotations
 import logging
 from typing import Dict, Optional, Sequence
 
-from repro.lumscan.records import ScanDataset
+from repro.lumscan.records import ScanDataset, SegmentedScanDataset
 from repro.run.artifacts import ArtifactStore
 from repro.run.stage import RunContext, Stage, StageStats
 from repro.util.clock import SYSTEM_CLOCK, Clock
@@ -79,7 +79,8 @@ class StudyRunner:
                 cache_hit=cache_hit,
                 artifacts=len(stage.outputs),
                 records=sum(len(value) for value in outputs.values()
-                            if isinstance(value, ScanDataset)),
+                            if isinstance(value, (ScanDataset,
+                                                  SegmentedScanDataset))),
             )
             context.stats.append(stats)
             logger.info(

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 #: Artifact kinds understood by the store.
-KIND_DATASET = "dataset"     # repro.lumscan.records.ScanDataset -> JSONL(.gz)
+KIND_DATASET = "dataset"     # DatasetReader -> LSHD/LSHM (or legacy JSONL)
 KIND_JSON = "json"           # derived values -> versioned, tagged JSON
 
 

@@ -49,6 +49,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["store", "inspect"])
 
+    def test_checkpoint_format_accepts_lshm(self):
+        args = build_parser().parse_args(
+            ["run", "--checkpoint-format", "lshm"])
+        assert args.checkpoint_format == "lshm"
+
+    def test_store_append_requires_both_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "append", "only.lshm"])
+
+    def test_store_compact_requires_manifest(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "compact"])
+
 
 class TestCommands:
     def test_top10k_command(self, capsys):
@@ -106,6 +119,80 @@ class TestStoreInspect:
         with pytest.raises(SystemExit, match="not an LSHD segment"):
             main(["store", "inspect", path])
 
+    def test_inspect_legacy_gzip_is_one_clean_line(self, tmp_path):
+        # Satellite contract: a legacy gzip checkpoint exits nonzero with
+        # a single-line message, never a traceback.
+        from repro.lumscan.records import ScanDataset
+        from repro.lumscan.serialize import dump_dataset
+
+        path = str(tmp_path / "legacy.jsonl.gz")
+        data = ScanDataset()
+        data.append("a.com", "US", 200, 10, None)
+        dump_dataset(data, path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "inspect", path])
+        message = str(excinfo.value)
+        assert message.startswith(path)
+        assert "jsonl.gz" in message
+        assert "\n" not in message
+
     def test_inspect_rejects_missing_file(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["store", "inspect", str(tmp_path / "nope.lshd")])
+
+
+class TestStoreManifestCommands:
+    def _segment(self, tmp_path, name="part.lshd"):
+        from repro.lumscan.records import ScanDataset
+        from repro.lumscan.serialize import dump_dataset_lshd
+
+        data = ScanDataset()
+        data.append("a.com", "US", 200, 9_000, None)
+        data.append("a.com", "IR", 403, 480, "<html>block</html>")
+        data.append("b.com", "SY", -1, 0, None, error="timeout")
+        path = str(tmp_path / name)
+        dump_dataset_lshd(data, path)
+        return path
+
+    def test_append_creates_and_grows_manifest(self, tmp_path, capsys):
+        manifest = str(tmp_path / "data.lshm")
+        segment = self._segment(tmp_path)
+        assert main(["store", "append", manifest, segment]) == 0
+        out = capsys.readouterr().out
+        assert "appended 3 rows" in out
+        assert "segments:    1" in out
+        assert main(["store", "append", manifest, segment]) == 0
+        out = capsys.readouterr().out
+        assert "rows:        6" in out
+        assert "segments:    2" in out
+
+    def test_inspect_prints_manifest_summary(self, tmp_path, capsys):
+        manifest = str(tmp_path / "data.lshm")
+        segment = self._segment(tmp_path)
+        main(["store", "append", manifest, segment])
+        capsys.readouterr()
+        assert main(["store", "inspect", manifest]) == 0
+        out = capsys.readouterr().out
+        assert f"manifest:    {manifest}" in out
+        assert "segments:    1" in out
+        assert ".seg-" in out
+
+    def test_compact_merges_to_one_segment(self, tmp_path, capsys):
+        manifest = str(tmp_path / "data.lshm")
+        segment = self._segment(tmp_path)
+        main(["store", "append", manifest, segment])
+        main(["store", "append", manifest, segment])
+        capsys.readouterr()
+        assert main(["store", "compact", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 2 segments" in out
+        assert "rows:        6" in out
+
+    def test_append_rejects_missing_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "append", str(tmp_path / "data.lshm"),
+                  str(tmp_path / "nope.lshd")])
+
+    def test_compact_rejects_missing_manifest(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "compact", str(tmp_path / "nope.lshm")])
