@@ -4,7 +4,11 @@ The benchmark files each kept private copies of the same three pieces of
 bookkeeping — best-of-N wall-clock timing, the ``BENCH_*.json``
 trajectory writer, and the cpu-count/oversubscription annotations that
 keep single-core runner numbers from being misread as scaling results.
-They live here once, so every benchmark reports identically.
+They live here once, so every benchmark reports identically.  The
+RSS/peak-memory helpers round out the set: worker memory is a measured
+quantity of the frozen-world layer, and both ``BENCH_world.json`` and the
+``BENCH_probe.json`` scaling curve record it through the same two
+functions.
 """
 
 from __future__ import annotations
@@ -14,6 +18,14 @@ import os
 import time
 from pathlib import Path
 from typing import Callable, Dict
+
+from repro.util.memory import rss_bytes
+
+__all__ = [
+    "best_of", "cpu_count", "measure_child", "oversubscription_fields",
+    "oversubscription_note", "results_path", "rss_bytes",
+    "worker_rss_fields", "write_trajectory",
+]
 
 #: Directory the BENCH_*.json trajectory files land in (the repo root).
 RESULTS_DIR = Path(__file__).resolve().parent.parent
@@ -69,6 +81,49 @@ def oversubscription_fields(workers: int) -> Dict[str, object]:
     """
     cpus = cpu_count()
     return {"cpus": cpus, "oversubscribed": cpus < workers}
+
+
+def _child_probe(target: Callable[[], object], conn) -> None:
+    before = rss_bytes()
+    started = time.perf_counter()
+    target()
+    conn.send({"seconds": time.perf_counter() - started,
+               "rss_bytes": rss_bytes(),
+               "rss_delta_bytes": max(0, rss_bytes() - before)})
+    conn.close()
+
+
+def measure_child(target: Callable[[], object]) -> Dict[str, object]:
+    """Run ``target()`` in a fresh child process; its timing and memory.
+
+    This is the worker's-eye measurement: the returned dict carries the
+    call's wall-clock ``seconds``, the child's resident set right after
+    it (``rss_bytes``), and the growth the call itself caused
+    (``rss_delta_bytes`` — the honest number under fork, where inherited
+    parent pages inflate the absolute reading).
+    """
+    from multiprocessing import Pipe, Process
+
+    recv, send = Pipe(duplex=False)
+    proc = Process(target=_child_probe, args=(target, send))
+    proc.start()
+    send.close()
+    payload = recv.recv()
+    proc.join()
+    return payload
+
+
+def worker_rss_fields(scanner) -> Dict[str, object]:
+    """Worker peak-RSS bookkeeping for one multi-process measurement.
+
+    ``scanner`` is anything with ``worker_init_stats()`` (the scan engine
+    delegates to its scanner); measurements without process workers
+    report 0, keeping the field present on every recorded point.
+    """
+    source = getattr(scanner, "worker_init_stats", None)
+    stats = source() if source is not None else None
+    peak = getattr(stats, "rss_peak_bytes", 0) if stats is not None else 0
+    return {"worker_rss_peak_bytes": peak}
 
 
 def oversubscription_note(workers: int) -> str:

@@ -29,6 +29,7 @@ from bench_util import (
     cpu_count,
     oversubscription_fields,
     oversubscription_note,
+    worker_rss_fields,
     write_trajectory,
 )
 from repro.httpsim.messages import BodyPolicy
@@ -110,10 +111,17 @@ def test_fast_lane_speedup_single_worker():
         f"got {speedup:.2f}x")
 
 
-def _process_engine_factory(workers: int, exchange: str):
-    return lambda world: ScanEngine(
-        Lumscan(LuminatiClient(world), seed=SCAN_SEED),
-        workers=workers, executor="process", exchange=exchange)
+def _process_engine_factory(workers: int, exchange: str, engines=None):
+    """Engine factory; ``engines`` (a list) collects every built engine so
+    the caller can read worker-init stats off the one that ran."""
+    def factory(world):
+        engine = ScanEngine(Lumscan(LuminatiClient(world), seed=SCAN_SEED),
+                            workers=workers, executor="process",
+                            exchange=exchange)
+        if engines is not None:
+            engines.append(engine)
+        return engine
+    return factory
 
 
 def test_executor_scaling():
@@ -126,8 +134,9 @@ def test_executor_scaling():
                                          seed=SCAN_SEED),
                                  workers=WORKERS, executor="thread"),
         n_countries=EXECUTOR_COUNTRIES)
+    process_engines = []
     processed, process_rate, process_time = _timed_scan(
-        lambda world: _process_engine_factory(WORKERS, "auto")(world),
+        _process_engine_factory(WORKERS, "auto", process_engines),
         n_countries=EXECUTOR_COUNTRIES)
 
     assert _rows(threaded) == _rows(serial)
@@ -144,23 +153,29 @@ def test_executor_scaling():
     for workers in sorted({1, 2, WORKERS, min(WORKERS, cpus)}):
         if workers == WORKERS:
             point, rate, elapsed = processed, process_rate, process_time
+            engine = process_engines[-1]
         else:
+            engines = []
             point, rate, elapsed = _timed_scan(
-                _process_engine_factory(workers, "auto"),
+                _process_engine_factory(workers, "auto", engines),
                 repeat=1, n_countries=EXECUTOR_COUNTRIES)
             assert _rows(point) == _rows(serial)
+            engine = engines[-1]
         curve.append({"workers": workers, "exchange": "shard",
                       "probes_per_sec": round(rate, 1),
                       "seconds": round(elapsed, 2),
-                      **oversubscription_fields(workers)})
+                      **oversubscription_fields(workers),
+                      **worker_rss_fields(engine)})
+    pickle_engines = []
     pickled, pickle_rate, pickle_time = _timed_scan(
-        _process_engine_factory(WORKERS, "pickle"),
+        _process_engine_factory(WORKERS, "pickle", pickle_engines),
         repeat=1, n_countries=EXECUTOR_COUNTRIES)
     assert _rows(pickled) == _rows(serial)
     curve.append({"workers": WORKERS, "exchange": "pickle",
                   "probes_per_sec": round(pickle_rate, 1),
                   "seconds": round(pickle_time, 2),
-                  **oversubscription_fields(WORKERS)})
+                  **oversubscription_fields(WORKERS),
+                  **worker_rss_fields(pickle_engines[-1])})
 
     print(f"\nexecutors ({cpus} cpus, {WORKERS} workers): "
           f"serial {serial_rate:,.0f} probes/s, "

@@ -41,7 +41,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = StudyConfig(seed=args.seed, workers=max(1, args.workers),
                          executor=args.executor, exchange=args.exchange,
                          merge=args.merge,
-                         target_chunk_ms=max(0, args.target_chunk_ms))
+                         target_chunk_ms=max(0, args.target_chunk_ms),
+                         world_source=args.world_source)
     suite = ExperimentSuite(world, study_config=config,
                             checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume,
@@ -267,6 +268,51 @@ def _cmd_store_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_world_freeze(args: argparse.Namespace) -> int:
+    from repro.websim.worldpack import write_worldpack_file
+
+    world = _world(args.scale, args.seed)
+    stopwatch = args.clock.stopwatch()
+    handle = write_worldpack_file(world, args.path)
+    elapsed = stopwatch.elapsed()
+    print(f"worldpack:   {args.path}")
+    print(f"scale:       {args.scale} ({len(world.population)} domains)")
+    print(f"seed:        {args.seed}")
+    print(f"file bytes:  {handle.nbytes}")
+    print(f"fingerprint: {handle.fingerprint}")
+    print(f"frozen in {elapsed:.1f}s")
+    return 0
+
+
+def _cmd_world_inspect(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.websim.worldpack import read_worldpack_header
+
+    path = args.path
+    try:
+        header = read_worldpack_header(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{path}: {exc}")
+    print(f"worldpack:   {path}")
+    print(f"version:     {header.get('version')}")
+    print(f"domains:     {header.get('size')}")
+    print(f"seed:        {header.get('seed')}")
+    print(f"file bytes:  {os.stat(path).st_size}")
+    print(f"fingerprint: {header.get('fingerprint')}")
+    print("sections:")
+    for section in header.get("sections", []):
+        name = section["name"]
+        if section.get("kind") == "array":
+            print(f"  {name:18s} {section['dtype']:4s} "
+                  f"offset={section['offset']:<10d} "
+                  f"bytes={section['nbytes']:<10d} rows={section['count']}")
+        else:
+            print(f"  {name:18s} json offset={section['offset']:<10d} "
+                  f"bytes={section['nbytes']}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     world = _world(args.scale, args.seed)
     suite = ExperimentSuite(world)
@@ -328,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="autotune process chunks toward this wall-time "
                           "per chunk; 0 keeps a fixed chunk size "
                           "(default: 250)")
+    run.add_argument("--world-source", default="auto",
+                     choices=("auto", "pack", "rebuild"),
+                     help="how process workers obtain the world: map the "
+                          "parent's frozen worldpack zero-copy, or rebuild "
+                          "from the spec; 'auto' freezes and falls back to "
+                          "rebuild when freezing fails (default: auto)")
     run.add_argument("--checkpoint-format", default="lshd",
                      choices=("lshd", "lshm", "jsonl.gz", "jsonl"),
                      help="dataset codec for checkpoints; 'lshm' writes "
@@ -390,6 +442,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "byte-identical to a sequential rewrite")
     compact.add_argument("manifest", help="path to the .lshm manifest")
     compact.set_defaults(func=_cmd_store_compact)
+
+    world = sub.add_parser(
+        "world", help="freeze and inspect immutable world snapshots")
+    world_sub = world.add_subparsers(dest="world_command", required=True)
+    freeze = world_sub.add_parser(
+        "freeze", help="build the world once and write it as an LSHW "
+                       "worldpack file that workers can map zero-copy")
+    freeze.add_argument("path", help="destination .lshw worldpack file")
+    freeze.set_defaults(func=_cmd_world_freeze)
+    winspect = world_sub.add_parser(
+        "inspect", help="print an LSHW worldpack's header without mapping "
+                        "its section buffers")
+    winspect.add_argument("path", help="path to an .lshw worldpack file")
+    winspect.set_defaults(func=_cmd_world_inspect)
 
     lint = sub.add_parser(
         "lint", help="run the determinism/concurrency-purity linter",

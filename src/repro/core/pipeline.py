@@ -98,6 +98,7 @@ class StudyConfig:
     exchange: str = "auto"            # worker→parent result transport
     merge: str = "memory"             # process-merge sink ("spill" = on-disk)
     target_chunk_ms: int = 250        # chunk autotune target (0 = fixed)
+    world_source: str = "auto"        # worker world: frozen pack or rebuild
 
 
 def registry_salt(registry: Optional[FingerprintRegistry]) -> str:
@@ -138,7 +139,8 @@ def _build_engine(scanner: Lumscan, cfg: StudyConfig,
     return ScanEngine(scanner, workers=cfg.workers, executor=cfg.executor,
                       exchange=cfg.exchange, merge=cfg.merge,
                       spill_dir=store.directory if store else None,
-                      target_chunk_seconds=target)
+                      target_chunk_seconds=target,
+                      world_source=cfg.world_source)
 
 
 # ===================================================================== #

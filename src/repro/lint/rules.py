@@ -192,6 +192,7 @@ SERIALIZATION_SINKS = frozenset({
     "encode_shard", "write_shard", "decode_shard",
     "write_segment_file", "dump_dataset_lshd",
     "write_manifest", "dump_dataset_manifest",
+    "encode_worldpack", "write_worldpack_file", "write_worldpack_shm",
 })
 
 #: Functions whose own body *is* a serializer (context even without a
@@ -201,6 +202,7 @@ SERIALIZATION_FUNCTIONS = frozenset({
     "encode_shard", "write_shard", "decode_shard",
     "write_segment_file", "dump_dataset_lshd",
     "write_manifest", "dump_dataset_manifest",
+    "encode_worldpack", "write_worldpack_file", "write_worldpack_shm",
 })
 
 #: Entry points of the scan-engine worker surface.  Reachability for the

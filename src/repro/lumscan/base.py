@@ -62,11 +62,16 @@ class SpawnableScanner(Protocol):
         ...
 
     def absorb_worker_counts(self, requests: int, fetches: int,
-                             token: Optional[str] = None) -> None:
+                             token: Optional[str] = None,
+                             init_stats=None) -> None:
         """Fold worker-replica traffic deltas into this scanner's stats.
 
         ``token`` names the batch of deltas; implementations must reject
         (or treat as a no-op) a token they have already absorbed, so a
         retried chunk can never double-count traffic totals.
+        ``init_stats``, when given, carries a
+        :class:`~repro.lumscan.engine.WorkerInitStats` batch of worker
+        spawn-time/world-build-time accounting to accumulate for
+        ``worker_init_stats()`` consumers (stage stats, benchmarks).
         """
         ...

@@ -63,7 +63,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 logger = logging.getLogger("repro.lumscan.engine")
@@ -82,6 +82,7 @@ from repro.lumscan.shards import (
     write_shard,
 )
 from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.memory import rss_bytes
 
 #: Tasks per work unit handed to the pool.  Small enough that the pool
 #: load-balances uneven chunks, large enough to amortize dispatch.  The
@@ -100,6 +101,11 @@ EXCHANGES = EXCHANGE_MODES + ("pickle",)
 #: parent RAM, or stream it into an on-disk segment and map it back.
 MERGES = ("memory", "spill")
 
+#: Valid ``ScanEngine(world_source=...)`` values: freeze the world when
+#: possible ("auto"), require the frozen pack ("pack"), or force every
+#: worker onto the legacy spec rebuild ("rebuild").
+WORLD_SOURCES = ("auto", "pack", "rebuild")
+
 #: Outstanding chunks per worker: enough that a worker finishing early
 #: always has a queued chunk, small enough to bound unmerged backlog.
 PIPELINE_DEPTH = 2
@@ -109,6 +115,32 @@ DEFAULT_TARGET_CHUNK_SECONDS = 0.25
 
 #: Monotonic ids for stat-absorption tokens (see absorb_worker_counts).
 _ABSORB_BATCH_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class WorkerBuildInfo:
+    """How one worker obtained its world replica, and how long it took."""
+
+    source: str            # "pack" (mapped worldpack) or "build" (rebuilt)
+    build_seconds: float   # wall time of the world load/rebuild alone
+
+
+@dataclass(frozen=True)
+class WorkerInitStats:
+    """Accumulated worker-initialization costs for one scanner.
+
+    ``spawn_seconds`` sums each worker's whole initializer (world plus
+    client/scanner wiring); ``build_seconds`` the world portion alone.
+    ``pack_loads`` counts workers that mapped a frozen worldpack instead
+    of rebuilding; ``rss_peak_bytes`` is the largest post-init worker
+    RSS observed (0 where the platform offers no reading).
+    """
+
+    spawned: int = 0
+    spawn_seconds: float = 0.0
+    build_seconds: float = 0.0
+    pack_loads: int = 0
+    rss_peak_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -277,26 +309,50 @@ _WORKER_SCANNER = None
 _WORKER_COUNTS = (0, 0)
 _WORKER_EXCHANGE: Optional[ExchangeSpec] = None
 _WORKER_CLOCK: Clock = SYSTEM_CLOCK
+# One-shot init-cost record: the first chunk a worker completes carries
+# it back to the parent (then it is cleared, so a worker reports its
+# spawn cost exactly once however many chunks it runs).
+_WORKER_INIT_INFO: Optional[dict] = None
 
 
 def _process_worker_init(spec, exchange_spec: Optional[ExchangeSpec],
                          clock: Clock) -> None:
     global _WORKER_SCANNER, _WORKER_COUNTS, _WORKER_EXCHANGE, _WORKER_CLOCK
-    _WORKER_SCANNER = spec.build()
-    _WORKER_COUNTS = _WORKER_SCANNER.worker_counts()
+    global _WORKER_INIT_INFO
+    stopwatch = clock.stopwatch()
+    build_timed = getattr(spec, "build_timed", None)
+    if build_timed is not None:
+        scanner, build_info = build_timed(clock)
+    else:
+        scanner = spec.build()
+        build_info = WorkerBuildInfo(source="build",
+                                     build_seconds=stopwatch.elapsed())
+    _WORKER_SCANNER = scanner
+    _WORKER_COUNTS = scanner.worker_counts()
     _WORKER_EXCHANGE = exchange_spec
     _WORKER_CLOCK = clock
+    _WORKER_INIT_INFO = {
+        "spawn_seconds": stopwatch.elapsed(),
+        "build_seconds": build_info.build_seconds,
+        "source": build_info.source,
+        "rss_bytes": rss_bytes(),
+    }
+    logger.debug("worker init: world %s in %.3fs (%.3fs total)",
+                 build_info.source, build_info.build_seconds,
+                 _WORKER_INIT_INFO["spawn_seconds"])
 
 
 def _process_run_chunk(seq: int, chunk: List[ProbeTask]):
     """Run one chunk in a worker.
 
     Returns ``(seq, payload, request_delta, fetch_delta, tasks,
-    elapsed)`` where ``payload`` is a :class:`ShardHandle` under the
-    shard exchange (the rows stay in the segment) or a trimmed columnar
-    :class:`ScanDataset` under the legacy pickle exchange.
+    elapsed, init_info)`` where ``payload`` is a :class:`ShardHandle`
+    under the shard exchange (the rows stay in the segment) or a trimmed
+    columnar :class:`ScanDataset` under the legacy pickle exchange, and
+    ``init_info`` is this worker's one-time spawn-cost record (None on
+    every chunk after the first).
     """
-    global _WORKER_COUNTS
+    global _WORKER_COUNTS, _WORKER_INIT_INFO
     scanner = _WORKER_SCANNER
     stopwatch = _WORKER_CLOCK.stopwatch()
     data = ScanDataset()
@@ -311,8 +367,9 @@ def _process_run_chunk(seq: int, chunk: List[ProbeTask]):
         payload = data
     else:
         payload = write_shard(data.export_columns(), _WORKER_EXCHANGE, seq)
+    init_info, _WORKER_INIT_INFO = _WORKER_INIT_INFO, None
     return (seq, payload, requests - prev_requests,
-            fetches - prev_fetches, len(chunk), elapsed)
+            fetches - prev_fetches, len(chunk), elapsed, init_info)
 
 
 class ScanEngine:
@@ -338,7 +395,8 @@ class ScanEngine:
                  spill_dir: Optional[str] = None,
                  target_chunk_seconds: Optional[float] =
                  DEFAULT_TARGET_CHUNK_SECONDS,
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None,
+                 world_source: str = "auto") -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
@@ -356,7 +414,12 @@ class ScanEngine:
             raise ValueError(
                 "merge='spill' requires executor='process' (the spill "
                 "builder backs the process pool's streaming merge)")
+        if world_source not in WORLD_SOURCES:
+            raise ValueError(
+                f"world_source must be one of {WORLD_SOURCES}, "
+                f"got {world_source!r}")
         self._merge = merge
+        self._world_source = world_source
         self._scanner = scanner
         self._workers = workers
         self._chunk_size = chunk_size
@@ -385,6 +448,16 @@ class ScanEngine:
     def merge(self) -> str:
         """Configured merge sink ("memory" or "spill")."""
         return self._merge
+
+    @property
+    def world_source(self) -> str:
+        """Configured worker world source ("auto"/"pack"/"rebuild")."""
+        return self._world_source
+
+    def worker_init_stats(self):
+        """The scanner's accumulated worker spawn/build costs, if tracked."""
+        stats = getattr(self._scanner, "worker_init_stats", None)
+        return stats() if stats is not None else None
 
     # ------------------------------------------------------------------ #
 
@@ -480,6 +553,9 @@ class ScanEngine:
                 f"(spawn_spec/worker_counts/absorb_worker_counts); "
                 f"{type(scanner).__name__} has no spawn_spec")
         spec = spawn()
+        pack = self._freeze_world_pack()
+        if pack is not None:
+            spec = replace(spec, world_source=pack.handle)
         exchange = None if self._exchange == "pickle" else \
             ShardExchange(self._exchange, spill_dir=self._spill_dir)
         tuner = ChunkAutotuner(initial=self._chunk_size,
@@ -488,12 +564,16 @@ class ScanEngine:
         pending: Dict[object, int] = {}   # future -> chunk sequence number
         merger: Optional[SpillDatasetBuilder] = None
         requests = fetches = 0
+        spawned = pack_loads = 0
+        spawn_seconds = build_seconds = 0.0
+        rss_peak = 0
         cursor = 0
         seq = 0
         logger.debug("engine: %d tasks over %d process workers "
-                     "(exchange=%s, merge=%s, autotune=%s)",
+                     "(exchange=%s, merge=%s, autotune=%s, world=%s)",
                      len(tasks), self._workers, self._exchange, self._merge,
-                     tuner.enabled)
+                     tuner.enabled,
+                     "pack" if pack is not None else "rebuild")
         try:
             exchange_spec = None if exchange is None else \
                 exchange.open().spec()
@@ -537,7 +617,14 @@ class ScanEngine:
                     for future in done:
                         pending.pop(future)
                         (chunk_seq, payload, request_delta, fetch_delta,
-                         n_tasks, elapsed) = future.result()
+                         n_tasks, elapsed, init_info) = future.result()
+                        if init_info is not None:
+                            spawned += 1
+                            spawn_seconds += init_info["spawn_seconds"]
+                            build_seconds += init_info["build_seconds"]
+                            rss_peak = max(rss_peak, init_info["rss_bytes"])
+                            if init_info["source"] == "pack":
+                                pack_loads += 1
                         tuner.record(n_tasks, elapsed)
                         buffer.push(chunk_seq,
                                     (payload, request_delta, fetch_delta))
@@ -569,10 +656,43 @@ class ScanEngine:
                 merger.abort()
             if exchange is not None:
                 exchange.close()
+            if pack is not None:
+                # The parent owns the pack's backing storage: release it
+                # on every path — including worker-crash-during-init —
+                # so no shm block or spill file outlives the pool.
+                pack.release()
         scanner.absorb_worker_counts(
             requests, fetches,
-            token=f"engine-batch-{next(_ABSORB_BATCH_IDS)}")
+            token=f"engine-batch-{next(_ABSORB_BATCH_IDS)}",
+            init_stats=WorkerInitStats(
+                spawned=spawned, spawn_seconds=spawn_seconds,
+                build_seconds=build_seconds, pack_loads=pack_loads,
+                rss_peak_bytes=rss_peak))
         return data
+
+    def _freeze_world_pack(self):
+        """Freeze the scanner's world for the pool, per ``world_source``.
+
+        Returns the parent-owned pack (released in the execute
+        ``finally``) or None when freezing is off, unsupported by the
+        scanner, or failed under ``world_source="auto"`` — the workers
+        then fall back to the spec rebuild, which is bit-identical.
+        ``world_source="pack"`` propagates freeze failures instead of
+        degrading silently.
+        """
+        if self._world_source == "rebuild":
+            return None
+        freeze = getattr(self._scanner, "freeze_world_pack", None)
+        if freeze is None:
+            return None
+        try:
+            return freeze(directory=self._spill_dir)
+        except OSError:
+            if self._world_source == "pack":
+                raise
+            logger.debug("world freeze failed; workers will rebuild",
+                         exc_info=True)
+            return None
 
     @staticmethod
     def _merge_payload(sink, payload) -> None:

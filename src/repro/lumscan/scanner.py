@@ -34,12 +34,20 @@ logger = logging.getLogger("repro.lumscan")
 
 from repro.httpsim.messages import BodyPolicy, Headers
 from repro.httpsim.useragent import browser_headers
-from repro.lumscan.engine import ProbeTask, ScanEngine, record_probe
+from repro.lumscan.engine import (
+    ProbeTask,
+    ScanEngine,
+    WorkerBuildInfo,
+    WorkerInitStats,
+    record_probe,
+)
 from repro.lumscan.records import BODY_KEEP_THRESHOLD, ScanDataset
 from repro.netsim.errors import NoExitAvailable
 from repro.proxynet.luminati import ExitNode, LuminatiClient, ProbeResult
+from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.rng import derive_rng
 from repro.websim.world import WorldConfig
+from repro.websim.worldpack import WorldPack, WorldPackHandle, freeze_world
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,14 @@ class ScannerSpec:
     megabytes of lazily-built world state) and rebuilding once per worker
     process yields a replica whose probe outcomes are bit-identical — the
     same per-task derived-RNG contract that makes thread sharding safe.
+
+    ``world_source``, when set, points at a frozen worldpack (see
+    :mod:`repro.websim.worldpack`): the worker maps it zero-copy instead
+    of rebuilding the world.  The pack is an optimization, never a
+    dependency — if the mapping fails (unlinked block, missing file,
+    fingerprint mismatch, platform without shareable segments) the
+    worker falls back to the spec rebuild, which produces bit-identical
+    probe outcomes by construction.
     """
 
     world_config: WorldConfig
@@ -71,17 +87,42 @@ class ScannerSpec:
     config: LumscanConfig
     header_items: Tuple[Tuple[str, str], ...]
     body_policy: Optional[BodyPolicy]
+    world_source: Optional[WorldPackHandle] = None
 
     def build(self) -> "Lumscan":
         """Construct the scanner replica (called once per worker process)."""
+        return self.build_timed(SYSTEM_CLOCK)[0]
+
+    def build_timed(self, clock: Clock) -> Tuple["Lumscan", WorkerBuildInfo]:
+        """Like :meth:`build`, but reports how the world came to be.
+
+        The returned :class:`WorkerBuildInfo` carries the world's actual
+        source ("pack" when the worldpack mapped, "build" after the
+        rebuild fallback) and the wall seconds the world step took,
+        measured on the injectable ``clock``.
+        """
         from repro.websim.world import World
 
-        world = World(self.world_config)
+        stopwatch = clock.stopwatch()
+        world = None
+        if self.world_source is not None:
+            try:
+                from repro.websim.worldpack import load_world
+
+                world = load_world(self.world_source)
+            except (OSError, ValueError) as exc:
+                logger.debug("worldpack %s unavailable (%s); rebuilding",
+                             self.world_source.ref, exc)
+        if world is None:
+            world = World(self.world_config)
+        info = WorkerBuildInfo(source=world.source,
+                               build_seconds=stopwatch.elapsed())
         luminati = LuminatiClient(world, seed=self.luminati_seed,
                                   exits_per_country=self.exits_per_country)
-        return Lumscan(luminati, config=self.config,
-                       headers=Headers(list(self.header_items)),
-                       seed=self.scanner_seed, body_policy=self.body_policy)
+        scanner = Lumscan(luminati, config=self.config,
+                          headers=Headers(list(self.header_items)),
+                          seed=self.scanner_seed, body_policy=self.body_policy)
+        return scanner, info
 
 
 @dataclass
@@ -121,6 +162,7 @@ class Lumscan:
         self.superproxy_loads = [0] * self._config.superproxies
         self._superproxy_cursor = 0
         self._superproxy_lock = threading.Lock()
+        self._worker_init_stats = WorkerInitStats()
 
     # ------------------------------------------------------------------ #
 
@@ -177,8 +219,15 @@ class Lumscan:
     # ------------------------------------------------------------------ #
     # Process-executor support
 
-    def spawn_spec(self) -> ScannerSpec:
-        """The picklable recipe a worker process rebuilds this scanner from."""
+    def spawn_spec(self,
+                   world_source: Optional[WorldPackHandle] = None
+                   ) -> ScannerSpec:
+        """The picklable recipe a worker process rebuilds this scanner from.
+
+        ``world_source`` optionally points workers at a frozen worldpack
+        to map instead of rebuilding the world (see
+        :meth:`freeze_world_pack`).
+        """
         luminati = self._luminati
         return ScannerSpec(
             world_config=luminati.world.config,
@@ -188,22 +237,52 @@ class Lumscan:
             config=self._config,
             header_items=tuple(self._headers.items()),
             body_policy=self._task_body_policy,
+            world_source=world_source,
         )
+
+    def freeze_world_pack(self, mode: str = "auto",
+                          directory: Optional[str] = None) -> WorldPack:
+        """Freeze this scanner's world for zero-copy worker mapping.
+
+        The caller owns the returned pack and must ``release()`` it once
+        the pool is done (the engine does this in its ``finally``).
+        """
+        return freeze_world(self._luminati.world, mode=mode,
+                            directory=directory)
 
     def worker_counts(self) -> Tuple[int, int]:
         """(requests, fetches) served so far — delta source for workers."""
         return (self._luminati.request_count,
                 self._luminati.world.fetch_count)
 
+    def worker_init_stats(self) -> WorkerInitStats:
+        """Accumulated worker spawn/world-build costs absorbed so far."""
+        return self._worker_init_stats
+
     def absorb_worker_counts(self, requests: int, fetches: int,
-                             token: Optional[str] = None) -> None:
+                             token: Optional[str] = None,
+                             init_stats: Optional[WorkerInitStats] = None
+                             ) -> None:
         """Fold a worker replica's traffic deltas into this scanner's stats.
 
         ``token``, when given, identifies the batch of deltas; absorbing
         the same token twice raises, so a retried chunk can never
-        double-count traffic totals.
+        double-count traffic totals.  ``init_stats`` additionally folds
+        the pool's worker spawn-time/world-build-time accounting into
+        :meth:`worker_init_stats` (sums, except ``rss_peak_bytes`` which
+        takes the max).
         """
         self._luminati.absorb_worker_counts(requests, fetches, token=token)
+        if init_stats is not None and init_stats.spawned:
+            prior = self._worker_init_stats
+            self._worker_init_stats = WorkerInitStats(
+                spawned=prior.spawned + init_stats.spawned,
+                spawn_seconds=prior.spawn_seconds + init_stats.spawn_seconds,
+                build_seconds=prior.build_seconds + init_stats.build_seconds,
+                pack_loads=prior.pack_loads + init_stats.pack_loads,
+                rss_peak_bytes=max(prior.rss_peak_bytes,
+                                   init_stats.rss_peak_bytes),
+            )
 
     # ------------------------------------------------------------------ #
 

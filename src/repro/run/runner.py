@@ -54,6 +54,7 @@ class StudyRunner:
         for stage in self._stages:
             stopwatch = self._clock.stopwatch()
             probes_before = context.probes_issued()
+            init_before = self._worker_init_snapshot(context)
             manifest = self._store.manifest(stage) if self._resume else None
             if manifest is not None:
                 outputs = self._store.load_stage(stage, manifest)
@@ -72,6 +73,7 @@ class StudyRunner:
                 self._store.save_stage(stage, outputs,
                                        probes=probes, seconds=seconds)
             context.artifacts.update(outputs)
+            init_after = self._worker_init_snapshot(context)
             stats = StageStats(
                 stage=stage.name,
                 seconds=seconds,
@@ -81,14 +83,43 @@ class StudyRunner:
                 records=sum(len(value) for value in outputs.values()
                             if isinstance(value, (ScanDataset,
                                                   SegmentedScanDataset))),
+                workers_spawned=init_after[0] - init_before[0],
+                worker_spawn_seconds=init_after[1] - init_before[1],
+                world_build_seconds=init_after[2] - init_before[2],
+                worker_pack_loads=init_after[3] - init_before[3],
             )
             context.stats.append(stats)
-            logger.info(
-                "%s/%s: %s in %.2fs (probes=%d, records=%d)",
-                self._study, stage.name,
-                "checkpoint hit" if cache_hit else "executed",
-                seconds, probes, stats.records)
+            if stats.workers_spawned:
+                logger.info(
+                    "%s/%s: %s in %.2fs (probes=%d, records=%d, "
+                    "workers=%d, spawn=%.2fs, world=%.2fs, pack_loads=%d)",
+                    self._study, stage.name,
+                    "checkpoint hit" if cache_hit else "executed",
+                    seconds, probes, stats.records,
+                    stats.workers_spawned, stats.worker_spawn_seconds,
+                    stats.world_build_seconds, stats.worker_pack_loads)
+            else:
+                logger.info(
+                    "%s/%s: %s in %.2fs (probes=%d, records=%d)",
+                    self._study, stage.name,
+                    "checkpoint hit" if cache_hit else "executed",
+                    seconds, probes, stats.records)
         return context
+
+    @staticmethod
+    def _worker_init_snapshot(context: RunContext):
+        """(spawned, spawn_s, build_s, pack_loads) totals so far, or zeros.
+
+        Scanners without worker processes (plain :class:`Lumscan`, test
+        doubles) simply lack ``worker_init_stats`` and report all-zero
+        deltas, so the stage log line stays in its compact form for them.
+        """
+        source = getattr(context.scanner, "worker_init_stats", None)
+        stats = source() if source is not None else None
+        if stats is None:
+            return (0, 0.0, 0.0, 0)
+        return (stats.spawned, stats.spawn_seconds,
+                stats.build_seconds, stats.pack_loads)
 
     def stats_by_stage(self, context: RunContext) -> Dict[str, StageStats]:
         """The context's stats keyed by stage name (convenience)."""

@@ -52,6 +52,10 @@ class StageStats:
     cache_hit: bool = False      # True when loaded from a checkpoint
     artifacts: int = 0           # number of artifacts produced/loaded
     records: int = 0             # total ScanDataset rows produced/loaded
+    workers_spawned: int = 0     # worker processes initialized this stage
+    worker_spawn_seconds: float = 0.0   # summed worker initializer time
+    world_build_seconds: float = 0.0    # world rebuild/pack-load portion
+    worker_pack_loads: int = 0   # workers that mapped a frozen worldpack
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form for logs and the experiment report."""
@@ -62,6 +66,10 @@ class StageStats:
             "cache_hit": self.cache_hit,
             "artifacts": self.artifacts,
             "records": self.records,
+            "workers_spawned": self.workers_spawned,
+            "worker_spawn_seconds": round(self.worker_spawn_seconds, 3),
+            "world_build_seconds": round(self.world_build_seconds, 3),
+            "worker_pack_loads": self.worker_pack_loads,
         }
 
 

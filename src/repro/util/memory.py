@@ -1,0 +1,33 @@
+"""Process-memory introspection without external dependencies.
+
+Worker RSS is a measured quantity of the scan engine (the frozen-world
+layer exists to keep N workers from holding N copies of the world), so
+both the engine's worker initializer and the benchmark suite need a
+resident-set reading.  ``/proc/self/status`` gives current RSS on Linux;
+elsewhere ``resource.getrusage`` supplies the peak RSS as a usable
+stand-in.  Platforms offering neither report 0 — callers treat the value
+as a gauge, never a correctness input.
+"""
+
+from __future__ import annotations
+
+
+def rss_bytes() -> int:
+    """This process's resident set size in bytes (0 when unreadable)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):
+        return 0
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    import sys
+
+    return peak if sys.platform == "darwin" else peak * 1024

@@ -26,6 +26,7 @@ bit-for-bit reproducible.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -168,11 +169,79 @@ class World:
         self.allocator = AddressAllocator(seed=self.config.seed)
         self.geoip = GeoIPDatabase(
             seed=self.config.seed, error_rate=self.config.geoip_error_rate)
-        self.dns = DNSServer()
+        self._dns: Optional[DNSServer] = DNSServer()
+        self._dns_loader = None
         self._appengine_cidrs: List[str] = []
         self._build_address_plan()
         self._build_dns()
+        self._init_runtime()
 
+    @classmethod
+    def from_parts(cls, config: WorldConfig, *, population: DomainPopulation,
+                   policies: Dict[str, GeoPolicy], degradations: Dict,
+                   censorship: Dict[str, Tuple[str, ...]],
+                   allocator: AddressAllocator, geoip: GeoIPDatabase,
+                   dns: DNSServer, appengine_cidrs: List[str],
+                   frozen_lengths: Optional[Tuple] = None) -> "World":
+        """Assemble a world from pre-built immutable parts (pack loading).
+
+        The parts must be exactly what ``World(config)``'s build phase
+        would have produced — :mod:`repro.websim.worldpack` freezes and
+        restores them; this constructor only wires them up and runs the
+        normal mutable-runtime initialization, so every RNG stream,
+        cache, and counter starts in the same state as a fresh build.
+        ``dns`` may be a :class:`DNSServer` or a zero-argument loader
+        returning one — the loader runs on first :attr:`dns` access, so
+        workers (which resolve through the population, never through
+        DNS) skip rebuilding the zone table entirely.
+        ``frozen_lengths`` optionally carries the pack's cached
+        base-page lengths as a sorted ``(rank_index, length)`` array
+        pair, consulted read-only by :meth:`_page_length`.
+        """
+        world = cls.__new__(cls)
+        world.config = config
+        base_registry = CountryRegistry()
+        if config.country_codes is not None:
+            base_registry = base_registry.subset(list(config.country_codes))
+        world.registry = base_registry
+        world.taxonomy = CategoryTaxonomy()
+        world.population = population
+        world.policy_model = PolicyModel(
+            world.registry, config=config.policy, seed=config.seed)
+        world.policies = policies
+        world.degradations = degradations
+        world.censorship = censorship
+        world.allocator = allocator
+        world.geoip = geoip
+        if callable(dns):
+            world._dns = None
+            world._dns_loader = dns
+        else:
+            world._dns = dns
+            world._dns_loader = None
+        world._appengine_cidrs = list(appengine_cidrs)
+        world._init_runtime(frozen_lengths=frozen_lengths)
+        return world
+
+    @property
+    def dns(self) -> DNSServer:
+        """The authoritative DNS (materialized lazily for pack worlds)."""
+        if self._dns is None:
+            self._dns = self._dns_loader()
+            self._dns_loader = None
+        return self._dns
+
+    def _init_runtime(self, frozen_lengths: Optional[Tuple] = None) -> None:
+        """Initialize the mutable, never-shared half of the world.
+
+        Everything here is worker-private state: the shared RNG streams,
+        page/length caches, clearance grants, and the fetch counter.  A
+        pack-loaded world runs the identical initialization, which is
+        what keeps its probe outcomes bit-identical to a fresh build.
+        """
+        #: How this world came to be: "build" (generated from config) or
+        #: "pack" (thawed from a frozen worldpack).
+        self.source = "build"
         self._noise_rng = derive_rng(self.config.seed, "fetch-noise")
         self._render_rng = derive_rng(self.config.seed, "render")
         # Sized to the population so a full scan never recomputes a page;
@@ -186,6 +255,9 @@ class World:
         self._page_length_cache: MemoDict[str, int] = MemoDict()
         self._clearances: MemoDict[str, set] = MemoDict()
         self._fetch_count = ShardedCounter()
+        # Read-only views into a mapped worldpack: (sorted rank-1 index
+        # array, length array).  None for built worlds.
+        self._frozen_lengths = frozen_lengths
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -412,6 +484,8 @@ class World:
         """``len(self._page(domain))`` without materializing the page."""
         length = self._page_length_cache.get(domain.name)
         if length is None:
+            length = self._frozen_length(domain)
+        if length is None:
             cached = self._page_cache.get(domain.name)
             if cached is not None:
                 length = len(cached)
@@ -419,6 +493,25 @@ class World:
                 length = page_length(domain.name, domain.category,
                                      seed=self.config.seed)
             self._page_length_cache[domain.name] = length
+        return length
+
+    def _frozen_length(self, domain: Domain) -> Optional[int]:
+        """The domain's base-page length from a mapped worldpack, if any.
+
+        The pack stores lengths as a sorted (rank-1 index, value) array
+        pair; a hit is copied into the memo so repeat lookups skip the
+        bisect.  Lengths are pure functions of (seed, domain), so a pack
+        value and a computed value can never disagree.
+        """
+        if self._frozen_lengths is None:
+            return None
+        index, values = self._frozen_lengths
+        target = domain.rank - 1
+        pos = bisect_left(index, target)
+        if pos >= len(index) or index[pos] != target:
+            return None
+        length = int(values[pos])
+        self._page_length_cache[domain.name] = length
         return length
 
     def _resolve(self, host: str) -> Optional[Domain]:

@@ -399,3 +399,47 @@ class TestAbsorptionTokens:
                             workers=2, chunk_size=4, executor="process")
         engine.scan(urls, ["US"], samples=1)
         engine.scan(urls, ["IR"], samples=1)
+
+
+def _exploding_worker_init(spec):
+    """Initializer that dies before the worker ever builds a scanner."""
+    raise RuntimeError("worker init exploded")
+
+
+class TestWorldpackInitCleanup:
+    """Crash-during-init must not leak the frozen worldpack's storage.
+
+    The engine freezes one worldpack per process scan and hands its
+    handle to every worker initializer.  If an initializer dies, the
+    pool breaks before any chunk completes — the parent still owns the
+    pack and must unlink its shared-memory segment on the way out, the
+    same contract the shard-exchange session tests enforce above.
+    """
+
+    @pytest.mark.skipif(not shm_available(),
+                        reason="POSIX shared memory unavailable")
+    def test_worker_init_crash_releases_worldpack_shm(self, nano_world,
+                                                      monkeypatch):
+        urls = _clean_urls(nano_world, 10)
+        before = set(os.listdir("/dev/shm"))
+        monkeypatch.setattr(engine_mod, "_process_worker_init",
+                            _exploding_worker_init)
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=8, executor="process",
+                            exchange="shm", target_chunk_seconds=None)
+        with pytest.raises(Exception) as excinfo:
+            engine.scan(urls, ["US", "IR"], samples=2)
+        assert "process" in type(excinfo.value).__name__.lower() \
+            or "exploded" in str(excinfo.value)
+        assert set(os.listdir("/dev/shm")) - before == set()
+
+    @pytest.mark.skipif(not shm_available(),
+                        reason="POSIX shared memory unavailable")
+    def test_successful_scan_releases_worldpack_shm(self, nano_world):
+        urls = _clean_urls(nano_world, 10)
+        before = set(os.listdir("/dev/shm"))
+        engine = ScanEngine(Lumscan(LuminatiClient(nano_world), seed=11),
+                            workers=2, chunk_size=8, executor="process",
+                            exchange="shm", target_chunk_seconds=None)
+        engine.scan(urls, ["US", "IR"], samples=2)
+        assert set(os.listdir("/dev/shm")) - before == set()

@@ -286,6 +286,34 @@ def test_iter_order_clean_when_shard_writer_input_is_sorted():
     assert findings == []
 
 
+def test_iter_order_flags_unsorted_dict_feeding_worldpack_writer():
+    # The worldpack writer is a serialization sink: pack bytes carry a
+    # content fingerprint that workers verify, so feeding the writer
+    # values built from unordered dict iteration would make the
+    # fingerprint depend on dict history.
+    findings = run_lint("""
+        from repro.websim.worldpack import write_worldpack_file
+
+        def freeze_all(worlds, directory):
+            handles = [write_worldpack_file(world, f"{directory}/{name}")
+                       for name, world in worlds.items()]
+            return handles
+    """)
+    assert rule_ids(findings) == ["iter-order"]
+
+
+def test_iter_order_clean_when_worldpack_writer_input_is_sorted():
+    findings = run_lint("""
+        from repro.websim.worldpack import write_worldpack_file
+
+        def freeze_all(worlds, directory):
+            handles = [write_worldpack_file(world, f"{directory}/{name}")
+                       for name, world in sorted(worlds.items())]
+            return handles
+    """)
+    assert findings == []
+
+
 def test_iter_order_honors_ordered_directive():
     findings = run_lint("""
         import json
