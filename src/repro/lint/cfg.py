@@ -1,0 +1,427 @@
+"""Per-function control-flow graphs for the flow-sensitive rules.
+
+One :class:`CFG` is built per function body.  Nodes are individual
+statements (compound statements contribute a header node plus the nodes
+of their bodies); edges are *normal* successors plus *exceptional*
+successors for statements that can raise.  Two synthetic sinks exist:
+``exit`` (the function returns or falls off the end) and ``raise_exit``
+(an exception escapes the function).
+
+``try``/``finally`` is modeled by duplication, the standard lowering:
+the ``finally`` body is rebuilt as a fresh subgraph for each way control
+can enter it (normal completion, exception propagation, and each abrupt
+``return``/``break``/``continue`` that unwinds through it), so a release
+that lives in a ``finally`` block is present on *every* path out of the
+``try`` — exactly the property the resource rules check.  ``with``
+blocks participate in the same unwinding: a synthetic ``with-exit`` node
+is placed on every path out of the block, which is where the dataflow
+interpreter releases context-managed resources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: Node kinds.  "stmt" carries one simple statement; the compound
+#: headers keep their AST node so the interpreter can read tests,
+#: iterators, and with-items without re-walking the tree.
+KIND_ENTRY = "entry"
+KIND_EXIT = "exit"
+KIND_RAISE_EXIT = "raise-exit"
+KIND_STMT = "stmt"
+KIND_BRANCH = "branch"        # If / Match header
+KIND_LOOP = "loop"            # While / For header
+KIND_WITH = "with"            # With header (context exprs evaluated)
+KIND_WITH_EXIT = "with-exit"  # __exit__ runs here (on every path out)
+KIND_JOIN = "join"            # synthetic merge point
+KIND_EXCEPT = "except"        # exception dispatch for a try's handlers
+
+
+@dataclass
+class CFGNode:
+    """One node: a statement or a synthetic control point."""
+
+    index: int
+    kind: str
+    stmt: Optional[ast.AST] = None
+    succ: List[int] = field(default_factory=list)
+    exc: List[int] = field(default_factory=list)
+    #: For If/While headers: which successor the true/false outcome of
+    #: the test takes (None when indistinguishable).  Lets the dataflow
+    #: interpreter prune facts on ``x is None`` style guards.
+    true_succ: Optional[int] = None
+    false_succ: Optional[int] = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0) if self.stmt is not None else 0
+
+
+@dataclass
+class CFG:
+    """The graph: node table plus the three distinguished nodes."""
+
+    nodes: List[CFGNode]
+    entry: int
+    exit: int
+    raise_exit: int
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def predecessors(self, index: int) -> List[Tuple[int, bool]]:
+        """(pred index, via-exception?) pairs for one node."""
+        preds: List[Tuple[int, bool]] = []
+        for node in self.nodes:
+            if index in node.succ:
+                preds.append((node.index, False))
+            if index in node.exc:
+                preds.append((node.index, True))
+        return preds
+
+
+def can_raise(node: Optional[ast.AST]) -> bool:
+    """Conservatively, can evaluating this expression/statement raise?
+
+    Restricted to calls (and awaits) so straight-line attribute access
+    does not flood the graph with exceptional edges; ``raise`` and
+    ``assert`` are handled structurally by the builder.
+    """
+    if node is None:
+        return False
+    return any(isinstance(sub, (ast.Call, ast.Await))
+               for sub in ast.walk(node))
+
+
+def _catches_everything(handlers: Sequence[ast.excepthandler]) -> bool:
+    """True when one handler is ``except:`` or catches BaseException."""
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        head = handler.type
+        if isinstance(head, ast.Attribute):
+            name = head.attr
+        elif isinstance(head, ast.Name):
+            name = head.id
+        else:
+            continue
+        if name == "BaseException":
+            return True
+    return False
+
+
+@dataclass
+class _Frame:
+    """One entry of the enclosing-construct stack (innermost last)."""
+
+    kind: str                          # "loop" | "finally" | "with"
+    # loop frames:
+    head: int = -1
+    after: int = -1
+    # finally frames:
+    finalbody: Tuple[ast.stmt, ...] = ()
+    outer_exc: int = -1
+    # with frames:
+    stmt: Optional[ast.AST] = None
+
+
+class _Builder:
+    def __init__(self, body: Sequence[ast.stmt]) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(KIND_ENTRY)
+        self.exit = self._new(KIND_EXIT)
+        self.raise_exit = self._new(KIND_RAISE_EXIT)
+        self.exc_target = self.raise_exit
+        self.frames: List[_Frame] = []
+        cursor = self._body(body, self.entry)
+        if cursor is not None:
+            self._edge(cursor, self.exit)
+
+    def build(self) -> CFG:
+        return CFG(nodes=self.nodes, entry=self.entry, exit=self.exit,
+                   raise_exit=self.raise_exit)
+
+    # -------------------------------------------------------------- #
+    # Graph primitives
+
+    def _new(self, kind: str, stmt: Optional[ast.AST] = None) -> int:
+        node = CFGNode(index=len(self.nodes), kind=kind, stmt=stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succ:
+            self.nodes[src].succ.append(dst)
+
+    def _exc_edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].exc:
+            self.nodes[src].exc.append(dst)
+
+    # -------------------------------------------------------------- #
+    # Statement lowering.  Each method threads a *cursor*: the node
+    # whose normal successor is the next statement (None after a jump).
+
+    def _body(self, stmts: Sequence[ast.stmt],
+              cursor: Optional[int]) -> Optional[int]:
+        for stmt in stmts:
+            cursor = self._stmt(stmt, cursor)
+        return cursor
+
+    def _simple(self, stmt: ast.stmt, cursor: Optional[int],
+                raises: Optional[bool] = None) -> int:
+        node = self._new(KIND_STMT, stmt)
+        if cursor is not None:
+            self._edge(cursor, node)
+        if raises if raises is not None else can_raise(stmt):
+            self._exc_edge(node, self.exc_target)
+        return node
+
+    def _stmt(self, stmt: ast.stmt,
+              cursor: Optional[int]) -> Optional[int]:
+        if isinstance(stmt, ast.Return):
+            node = self._simple(stmt, cursor, raises=can_raise(stmt.value))
+            tail = self._unwind(node, upto=0)
+            self._edge(tail, self.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            node = self._new(KIND_STMT, stmt)
+            if cursor is not None:
+                self._edge(cursor, node)
+            self._exc_edge(node, self.exc_target)
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return self._break_continue(stmt, cursor)
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cursor)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, cursor)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cursor)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cursor)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cursor)
+        if isinstance(stmt, ast.Assert):
+            return self._simple(stmt, cursor, raises=True)
+        return self._simple(stmt, cursor)
+
+    # -------------------------------------------------------------- #
+    # Abrupt jumps: route through every finally/with between the jump
+    # and its target, innermost first (the runtime unwinding order).
+
+    def _unwind(self, cursor: int, upto: int) -> int:
+        for frame in reversed(self.frames[upto:]):
+            if frame.kind == "finally":
+                cursor = self._inline_finally(frame, cursor)
+            elif frame.kind == "with":
+                node = self._new(KIND_WITH_EXIT, frame.stmt)
+                self._edge(cursor, node)
+                cursor = node
+        return cursor
+
+    def _inline_finally(self, frame: _Frame, cursor: int) -> int:
+        saved_exc, saved_frames = self.exc_target, self.frames
+        self.exc_target = frame.outer_exc
+        self.frames = saved_frames[:saved_frames.index(frame)]
+        try:
+            join = self._new(KIND_JOIN)
+            self._edge(cursor, join)
+            tail = self._body(list(frame.finalbody), join)
+            if tail is None:       # finally itself jumps/raises
+                tail = self._new(KIND_JOIN)
+        finally:
+            self.exc_target, self.frames = saved_exc, saved_frames
+        return tail
+
+    def _break_continue(self, stmt: ast.stmt,
+                        cursor: Optional[int]) -> Optional[int]:
+        node = self._new(KIND_STMT, stmt)
+        if cursor is not None:
+            self._edge(cursor, node)
+        for depth in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[depth]
+            if frame.kind == "loop":
+                tail = self._unwind(node, upto=depth + 1)
+                target = (frame.after if isinstance(stmt, ast.Break)
+                          else frame.head)
+                self._edge(tail, target)
+                return None
+        return None  # break/continue outside a loop: malformed, drop
+
+    # -------------------------------------------------------------- #
+    # Compound statements
+
+    def _if(self, stmt: ast.If, cursor: Optional[int]) -> Optional[int]:
+        head = self._new(KIND_BRANCH, stmt)
+        if cursor is not None:
+            self._edge(cursor, head)
+        if can_raise(stmt.test):
+            self._exc_edge(head, self.exc_target)
+        join = self._new(KIND_JOIN)
+        then_tail = self._body(stmt.body, head)
+        head_node = self.nodes[head]
+        true_entry = head_node.succ[0] if head_node.succ else None
+        if stmt.orelse:
+            else_tail = self._body(stmt.orelse, head)
+            if else_tail is not None:
+                self._edge(else_tail, join)
+        else:
+            self._edge(head, join)
+        if then_tail is not None:
+            self._edge(then_tail, join)
+        false_entry = next((succ for succ in head_node.succ
+                            if succ != true_entry), None)
+        if true_entry is not None and false_entry is not None:
+            head_node.true_succ = true_entry
+            head_node.false_succ = false_entry
+        return join
+
+    def _loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+              cursor: Optional[int]) -> Optional[int]:
+        head = self._new(KIND_LOOP, stmt)
+        if cursor is not None:
+            self._edge(cursor, head)
+        condition = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        if can_raise(condition):
+            self._exc_edge(head, self.exc_target)
+        after = self._new(KIND_JOIN)
+        self.frames.append(_Frame(kind="loop", head=head, after=after))
+        try:
+            body_tail = self._body(stmt.body, head)
+        finally:
+            self.frames.pop()
+        head_node = self.nodes[head]
+        true_entry = head_node.succ[0] if head_node.succ else None
+        if body_tail is not None:
+            self._edge(body_tail, head)
+        if stmt.orelse:
+            else_tail = self._body(stmt.orelse, head)
+            if else_tail is not None:
+                self._edge(else_tail, after)
+        else:
+            self._edge(head, after)
+        false_entry = next((succ for succ in head_node.succ
+                            if succ != true_entry), None)
+        if isinstance(stmt, ast.While) and true_entry is not None \
+                and false_entry is not None:
+            head_node.true_succ = true_entry
+            head_node.false_succ = false_entry
+        return after
+
+    def _try(self, stmt: ast.Try, cursor: Optional[int]) -> Optional[int]:
+        outer_exc = self.exc_target
+        frame: Optional[_Frame] = None
+        if stmt.finalbody:
+            # Exception-propagation copy of finally: runs with the
+            # exception pending, then propagation resumes outward.
+            exc_entry = self._new(KIND_JOIN)
+            tail = self._with_context(outer_exc, len(self.frames),
+                                      stmt.finalbody, exc_entry)
+            if tail is not None:
+                self._edge(tail, outer_exc)
+            frame = _Frame(kind="finally",
+                           finalbody=tuple(stmt.finalbody),
+                           outer_exc=outer_exc)
+            self.frames.append(frame)
+            propagate = exc_entry
+        else:
+            propagate = outer_exc
+
+        dispatch: Optional[int] = None
+        if stmt.handlers:
+            dispatch = self._new(KIND_EXCEPT, stmt)
+        body_exc = dispatch if dispatch is not None else propagate
+
+        saved = self.exc_target
+        self.exc_target = body_exc
+        try:
+            body_tail = self._body(stmt.body, cursor)
+            if stmt.orelse:
+                # else runs only on clean body completion; its
+                # exceptions skip this try's handlers.
+                self.exc_target = propagate
+                body_tail = self._body(stmt.orelse, body_tail)
+        finally:
+            self.exc_target = saved
+
+        handler_tails: List[Optional[int]] = []
+        if dispatch is not None:
+            saved = self.exc_target
+            self.exc_target = propagate
+            try:
+                for handler in stmt.handlers:
+                    handler_tails.append(self._body(handler.body, dispatch))
+            finally:
+                self.exc_target = saved
+            if not _catches_everything(stmt.handlers):
+                self._edge(dispatch, propagate)
+
+        if frame is not None:
+            self.frames.pop()
+
+        # Normal-completion paths feed one shared finally copy (or a
+        # plain join when there is no finally).
+        tails = [body_tail] + handler_tails
+        live = [tail for tail in tails if tail is not None]
+        if not live:
+            return None
+        join = self._new(KIND_JOIN)
+        for tail in live:
+            self._edge(tail, join)
+        if stmt.finalbody:
+            return self._with_context(outer_exc, len(self.frames),
+                                      stmt.finalbody, join)
+        return join
+
+    def _with_context(self, exc_target: int, depth: int,
+                      body: Sequence[ast.stmt],
+                      cursor: Optional[int]) -> Optional[int]:
+        """Build a body copy under a temporary (exc target, frame) scope."""
+        saved_exc, saved_frames = self.exc_target, self.frames
+        self.exc_target = exc_target
+        self.frames = saved_frames[:depth]
+        try:
+            return self._body(list(body), cursor)
+        finally:
+            self.exc_target, self.frames = saved_exc, saved_frames
+
+    def _with(self, stmt: Union[ast.With, ast.AsyncWith],
+              cursor: Optional[int]) -> Optional[int]:
+        head = self._new(KIND_WITH, stmt)
+        if cursor is not None:
+            self._edge(cursor, head)
+        if any(can_raise(item.context_expr) for item in stmt.items):
+            self._exc_edge(head, self.exc_target)
+        frame = _Frame(kind="with", stmt=stmt)
+        self.frames.append(frame)
+        try:
+            body_tail = self._body(stmt.body, head)
+        finally:
+            self.frames.pop()
+        if body_tail is None:
+            return None
+        node = self._new(KIND_WITH_EXIT, stmt)
+        self._edge(body_tail, node)
+        return node
+
+    def _match(self, stmt: ast.Match,
+               cursor: Optional[int]) -> Optional[int]:
+        head = self._new(KIND_BRANCH, stmt)
+        if cursor is not None:
+            self._edge(cursor, head)
+        if can_raise(stmt.subject):
+            self._exc_edge(head, self.exc_target)
+        join = self._new(KIND_JOIN)
+        self._edge(head, join)  # no case may match
+        for case in stmt.cases:
+            tail = self._body(case.body, head)
+            if tail is not None:
+                self._edge(tail, join)
+        return join
+
+
+def build_cfg(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> CFG:
+    """The control-flow graph of one function body."""
+    return _Builder(func.body).build()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import traceback
 from typing import List, Optional
 
 from repro.lint.config import BASELINE_FILENAME, LintConfig, find_repo_root
@@ -29,10 +30,11 @@ from repro.lint.report import (
     EXIT_USAGE,
     Baseline,
     exit_code,
+    render_error_json,
     render_json,
     render_text,
 )
-from repro.lint.rules import RULES
+from repro.lint.rules import RULES, RULES_BY_ID
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also show suppressed and baselined findings")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule registry and exit")
+    parser.add_argument("--explain", metavar="RULE", default=None,
+                        help="print one rule's rationale, an example "
+                             "finding, and the sanctioned fix pattern "
+                             "(including the # lint: directive "
+                             "vocabulary), then exit")
     return parser
 
 
@@ -76,12 +83,56 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def _explain(rule_id: str) -> Optional[str]:
+    rule = RULES_BY_ID.get(rule_id)
+    if rule is None:
+        return None
+    sections = [
+        f"{rule.rule_id} [{rule.severity}] — {rule.summary}",
+        "",
+        "Why:",
+        _indent(rule.rationale),
+    ]
+    if rule.example:
+        sections += ["", "Example finding:", _indent(rule.example)]
+    if rule.fix:
+        sections += ["", "Sanctioned fix:", _indent(rule.fix)]
+    sections += [
+        "",
+        "Directives:",
+        _indent("# lint: allow(<rule>: <reason>)   suppress one line "
+                "(counted, discouraged)\n"
+                "# lint: ordered(<reason>)         document a "
+                "deterministic iteration order\n"
+                "# lint: confined(<reason>)        declare a class "
+                "thread-confined\n"
+                "# lint: handoff(<reason>)         document an "
+                "ownership transfer (semantic,\n"
+                "                                  not a suppression: "
+                "the callee owes the release)"),
+    ]
+    return "\n".join(sections)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
         print(_list_rules())
+        return EXIT_CLEAN
+    if args.explain is not None:
+        text = _explain(args.explain)
+        if text is None:
+            known = ", ".join(rule.rule_id for rule in RULES)
+            print(f"repro.lint: unknown rule {args.explain!r} "
+                  f"(known: {known})", file=sys.stderr)
+            return EXIT_USAGE
+        print(text)
         return EXIT_CLEAN
 
     selected = None
@@ -101,6 +152,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_USAGE
     except ValueError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:  # analyzer crash: keep CI artifacts useful
+        trace = traceback.format_exc()
+        print(f"repro.lint: internal error: {exc}", file=sys.stderr)
+        print(trace, file=sys.stderr)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(render_error_json(
+                    type(exc).__name__, str(exc), trace) + "\n")
         return EXIT_USAGE
 
     if args.write_baseline:

@@ -41,6 +41,10 @@ class Finding:
     suppressed: bool = False      # matched a # lint: allow(...) directive
     suppress_reason: str = ""
     baselined: bool = False       # grandfathered by the baseline file
+    #: Path trace of the flow-sensitive rules: ordered
+    #: ``{"line": int, "note": str}`` steps from the acquire site to
+    #: the leak/escape site.  Empty for the per-node rules.
+    trace: List[Dict[str, object]] = field(default_factory=list)
 
     def key(self) -> str:
         """The baseline identity of this finding."""
@@ -58,6 +62,7 @@ class Finding:
             "text": self.line_text,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
+            "trace": list(self.trace),
         }
 
 
@@ -181,6 +186,8 @@ def render_text(findings: Sequence[Finding], verbose: bool = False) -> str:
                      f"{marker} [{finding.rule_id}] {finding.message}")
         if finding.line_text:
             lines.append(f"    {finding.line_text}")
+        for step in finding.trace:
+            lines.append(f"    trace: line {step['line']}: {step['note']}")
     counts = _summary_counts(findings)
     lines.append(
         f"lint: {counts['errors']} error(s), {counts['warnings']} "
@@ -189,15 +196,40 @@ def render_text(findings: Sequence[Finding], verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
+#: lint-report.json schema version.  v2 adds per-finding ``trace``
+#: arrays (acquire-site -> leak-site paths) and the ``internal_error``
+#: payload written when the analyzer itself crashes.
+REPORT_VERSION = 2
+
+
 def render_json(findings: Sequence[Finding],
                 rule_ids: Optional[Sequence[str]] = None) -> str:
     """Machine-readable report (stable key order, no timestamps)."""
     payload = {
-        "version": 1,
+        "version": REPORT_VERSION,
         "summary": _summary_counts(findings),
         "rules": sorted(rule_ids) if rule_ids is not None else None,
         "findings": [f.as_dict() for f in sort_findings(findings)],
     }
     if payload["rules"] is None:
         del payload["rules"]
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def render_error_json(kind: str, message: str, traceback_text: str) -> str:
+    """Report body for an analyzer crash (exit code 2).
+
+    CI uploads lint-report.json unconditionally, so an internal error
+    must land in the artifact, not just on stderr.
+    """
+    payload = {
+        "version": REPORT_VERSION,
+        "summary": None,
+        "findings": [],
+        "internal_error": {
+            "type": kind,
+            "message": message,
+            "traceback": traceback_text,
+        },
+    }
     return json.dumps(payload, indent=1, sort_keys=True)

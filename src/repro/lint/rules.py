@@ -18,12 +18,19 @@ SEVERITY_WARN = "warn"
 
 @dataclass(frozen=True)
 class Rule:
-    """One lint rule: identity, default severity, and rationale."""
+    """One lint rule: identity, default severity, and rationale.
+
+    ``example`` and ``fix`` feed ``--explain <RULE>``: a minimal
+    violating snippet and the sanctioned repair pattern (including the
+    ``# lint:`` directive vocabulary where one applies).
+    """
 
     rule_id: str
     severity: str
     summary: str
     rationale: str
+    example: str = ""
+    fix: str = ""
 
 
 RULES: Tuple[Rule, ...] = (
@@ -114,6 +121,123 @@ RULES: Tuple[Rule, ...] = (
             "picklable type.  object/Any/Callable (and lock/thread/IO "
             "types) defeat the static guarantee that spawning a worker "
             "replica cannot fail at pickling time."
+        ),
+    ),
+    # ----------------------------------------------------------------- #
+    # Flow-sensitive resource-lifetime families (CFG + dataflow).
+    Rule(
+        rule_id="resource-leak",
+        severity=SEVERITY_ERROR,
+        summary="acquired handle not released on every path",
+        rationale=(
+            "Shard exchanges, worldpacks, spill builders, segment "
+            "mappings, shm blocks, and mmaps are acquired under a "
+            "contract (repro.lint.contracts): every path from the "
+            "acquisition to the function exit must release the handle "
+            "or transfer ownership (return it, store it on self, pass "
+            "it to a contract-listed handoff, or document the transfer "
+            "with # lint: handoff(<reason>)).  A branch or early "
+            "return that skips the release leaks the segment — and at "
+            "top-1M scale every worker multiplies the leak."
+        ),
+        example=(
+            "def scan(handle):\n"
+            "    reader = open_shard(handle)\n"
+            "    if reader is None:   # impossible, but illustrative\n"
+            "        return None      # <- leak: exits without release\n"
+            "    rows = count(reader)\n"
+            "    reader.close()\n"
+            "    return rows"
+        ),
+        fix=(
+            "Use a with-block (with open_shard(handle) as reader: ...) "
+            "or release in a finally block so every path passes the "
+            "release.  For genuine ownership transfer, return the "
+            "handle, register it on self, or annotate the transfer "
+            "line with # lint: handoff(<who releases it>)."
+        ),
+    ),
+    Rule(
+        rule_id="release-guard",
+        severity=SEVERITY_ERROR,
+        summary="release runs only on the fall-through path",
+        rationale=(
+            "A release placed after raise-capable calls executes only "
+            "when nothing raised: a worker crash or decode error skips "
+            "it and the handle (and its shm segment or spill "
+            "directory) outlives the run.  The release must be "
+            "exception-safe: inside a finally block, a with-block, or "
+            "an except/BaseException cleanup that re-raises."
+        ),
+        example=(
+            "def merge(spec, payloads):\n"
+            "    exchange = ShardExchange(mode=spec.mode).open()\n"
+            "    merge_all(exchange, payloads)  # <- may raise\n"
+            "    exchange.close()               # <- skipped on raise"
+        ),
+        fix=(
+            "Move the release into a finally block:\n"
+            "    exchange = ShardExchange(mode=spec.mode).open()\n"
+            "    try:\n"
+            "        merge_all(exchange, payloads)\n"
+            "    finally:\n"
+            "        exchange.close()\n"
+            "or use the context-manager form (with ShardExchange(...) "
+            "as exchange)."
+        ),
+    ),
+    Rule(
+        rule_id="buffer-escape",
+        severity=SEVERITY_ERROR,
+        summary="mapped-buffer view escapes before close()",
+        rationale=(
+            "Arrays decoded from a SegmentMapping or WorldPackReader "
+            "are zero-copy views over the mmap: storing one on self, "
+            "in a global, in a closure, or returning it while the "
+            "mapping is closed in the same function leaves a dangling "
+            "view (or pins the mapping so close() reports failure — "
+            "the exact bug PR 7 fixed by hand).  Views must be copied "
+            "out (.copy()/bytes()) before the buffer closes, or the "
+            "mapping must travel with them."
+        ),
+        example=(
+            "def load(path):\n"
+            "    mapping = SegmentMapping(path)\n"
+            "    cols = decode_shard(mapping.buffer)\n"
+            "    mapping.close()      # <- views in cols now dangle\n"
+            "    return cols"
+        ),
+        fix=(
+            "Copy before the close (return {k: v.copy() for ...}) or "
+            "keep the mapping open and transfer it together with the "
+            "views (return mapping, cols) so the caller owns the "
+            "lifetime."
+        ),
+    ),
+    Rule(
+        rule_id="atomic-write",
+        severity=SEVERITY_ERROR,
+        summary="checkpoint write bypasses temp-then-rename",
+        rationale=(
+            "Checkpoint segments (.lshd), manifests (.lshm / "
+            "manifest.json), and worldpacks (.lshw) are only valid "
+            "when they appear atomically: a direct open(path, 'wb') "
+            "can be interrupted mid-write and leave a torn file that "
+            "resume then trusts.  All writes go through the "
+            "contract-listed atomic writers, which write a "
+            "'.tmp.<pid>' sibling and os.replace() it into place."
+        ),
+        example=(
+            "def save(columns, stem):\n"
+            "    with open(f\"{stem}.lshd\", \"wb\") as out:  # <- torn\n"
+            "        out.write(encode_shard(columns)[0])      #    on crash"
+        ),
+        fix=(
+            "Call the codec's atomic writer (write_segment_file, "
+            "write_manifest, write_worldpack_file, _atomic_write_json, "
+            "...) or follow the idiom yourself: write to "
+            "f\"{path}.tmp.{os.getpid()}\" and os.replace(tmp, path), "
+            "removing the temp on BaseException."
         ),
     ),
 )

@@ -641,26 +641,35 @@ class ScanEngine:
             # Error path: nothing below may leak a segment.  Unmerged
             # buffered shards, plus shards from futures that completed
             # after the failure, are released; closing the exchange then
-            # removes the spill session directory wholesale.
-            for payload, _, _ in buffer.drain():
-                self._discard_payload(payload)
-            for future in pending:
-                if future.cancel():
-                    continue
+            # removes the spill session directory wholesale.  The steps
+            # are chained with nested finally blocks so a failure inside
+            # one cleanup cannot skip the ones after it.
+            try:
+                for payload, _, _ in buffer.drain():
+                    self._discard_payload(payload)
+                for future in pending:
+                    if future.cancel():
+                        continue
+                    try:
+                        result = future.result()
+                    except Exception:
+                        continue
+                    self._discard_payload(result[1])
+            finally:
                 try:
-                    result = future.result()
-                except Exception:
-                    continue
-                self._discard_payload(result[1])
-            if merger is not None:
-                merger.abort()
-            if exchange is not None:
-                exchange.close()
-            if pack is not None:
-                # The parent owns the pack's backing storage: release it
-                # on every path — including worker-crash-during-init —
-                # so no shm block or spill file outlives the pool.
-                pack.release()
+                    if merger is not None:
+                        merger.abort()
+                finally:
+                    try:
+                        if exchange is not None:
+                            exchange.close()
+                    finally:
+                        if pack is not None:
+                            # The parent owns the pack's backing
+                            # storage: release it on every path —
+                            # including worker-crash-during-init — so no
+                            # shm block or spill file outlives the pool.
+                            pack.release()
         scanner.absorb_worker_counts(
             requests, fetches,
             token=f"engine-batch-{next(_ABSORB_BATCH_IDS)}",

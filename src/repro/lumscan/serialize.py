@@ -67,6 +67,17 @@ _GZIP_MAGIC = b"\x1f\x8b"
 
 PathLike = Union[str, os.PathLike]
 
+#: Resource-lifetime contract enforced by ``repro.lint``: report and
+#: dataset text formats may only be written through the atomic
+#: temp-then-rename writer below.
+LINT_RESOURCE_CONTRACT = {
+    "codec": "serialize",
+    "atomic": {
+        "suffixes": [".jsonl", ".jsonl.gz"],
+        "writers": ["_atomic_text_writer", "dump_dataset", "save_report"],
+    },
+}
+
 
 def _is_gzip(path: PathLike) -> bool:
     return os.fspath(path).endswith(".gz")
@@ -204,24 +215,24 @@ def _load_segment(path: PathLike, mmap_columns: bool) -> ScanDataset:
     mapping = SegmentMapping(path)
     try:
         columns = decode_shard(mapping.buffer)
+        if mmap_columns:
+            return ScanDataset.from_columns(columns, source=mapping)
+        materialized = ShardColumns(
+            n=columns.n,
+            dcodes=np.array(columns.dcodes),
+            ccodes=np.array(columns.ccodes),
+            statuses=np.array(columns.statuses),
+            lengths=np.array(columns.lengths),
+            ecodes=np.array(columns.ecodes),
+            domain_names=list(columns.domain_names),
+            country_names=list(columns.country_names),
+            error_names=list(columns.error_names),
+            bodies=dict(columns.bodies),
+            interfered=list(columns.interfered),
+        )
     except BaseException:
         mapping.close()
         raise
-    if mmap_columns:
-        return ScanDataset.from_columns(columns, source=mapping)
-    materialized = ShardColumns(
-        n=columns.n,
-        dcodes=np.array(columns.dcodes),
-        ccodes=np.array(columns.ccodes),
-        statuses=np.array(columns.statuses),
-        lengths=np.array(columns.lengths),
-        ecodes=np.array(columns.ecodes),
-        domain_names=list(columns.domain_names),
-        country_names=list(columns.country_names),
-        error_names=list(columns.error_names),
-        bodies=dict(columns.bodies),
-        interfered=list(columns.interfered),
-    )
     mapping.close()
     return ScanDataset.from_columns(materialized)
 

@@ -96,6 +96,43 @@ KIND_FILE = "file"
 #: Valid ``ShardExchange(mode=...)`` values ("auto" resolves at open).
 EXCHANGE_MODES = ("auto", KIND_SHM, KIND_FILE)
 
+#: Resource-lifetime contract enforced by ``repro.lint`` (flow-sensitive
+#: acquire/release pairing, buffer-escape, and atomic-write rules).  A
+#: pure literal: the linter parses it with ``ast.literal_eval`` and
+#: merges it into its contract registry — keep it in sync with the
+#: classes below when the codec surface changes.
+LINT_RESOURCE_CONTRACT = {
+    "codec": "shards",
+    "resources": [
+        {"name": "shard-exchange",
+         "acquire": ["ShardExchange"],
+         "release_methods": ["close"]},
+        {"name": "shard-reader",
+         "acquire": ["ShardReader", "open_shard"],
+         "release_methods": ["close"],
+         "release_funcs": ["release_shard"]},
+        {"name": "segment-mapping",
+         "acquire": ["SegmentMapping"],
+         "release_methods": ["close"]},
+        {"name": "spill-builder",
+         "acquire": ["SpillDatasetBuilder"],
+         "release_methods": ["finalize", "abort", "_cleanup"]},
+    ],
+    "buffers": [
+        {"name": "segment-mapping",
+         "acquire": ["SegmentMapping"],
+         "close_methods": ["close"],
+         "view_attrs": ["buffer"],
+         "view_funcs": ["decode_shard"]},
+    ],
+    "atomic": {
+        "suffixes": [".lshd", ".lshm", "manifest.json"],
+        "writers": ["write_segment_file", "write_manifest",
+                    "store_segment", "adopt_segment", "append_segment",
+                    "compact_manifest"],
+    },
+}
+
 
 @dataclass(frozen=True)
 class ShardHandle:
@@ -734,12 +771,13 @@ class SpillDatasetBuilder:
             self._cleanup()
             raise
         mapping = SegmentMapping(target)
-        if path is None:
-            # POSIX: the mapped pages outlive the directory entry, so
-            # the transient merge segment frees itself with the dataset.
-            os.remove(target)
-        self._cleanup()
         try:
+            if path is None:
+                # POSIX: the mapped pages outlive the directory entry, so
+                # the transient merge segment frees itself with the
+                # dataset.
+                os.remove(target)
+            self._cleanup()
             columns = decode_shard(mapping.buffer)
         except BaseException:
             mapping.close()
@@ -980,6 +1018,8 @@ def compact_manifest(manifest_path,
     target = os.fspath(manifest_path)
     base = os.path.dirname(os.path.abspath(target))
     manifest = read_manifest(target)
+    tmp = os.path.join(base, f".{manifest_stem(target)}.compact."
+                             f"{os.getpid()}.tmp")
     builder = SpillDatasetBuilder(spill_dir or base)
     try:
         for entry in manifest.entries:
@@ -988,12 +1028,10 @@ def compact_manifest(manifest_path,
                 builder.extend_columns(decode_shard(mapping.buffer))
             finally:
                 mapping.close()
+        merged = builder.finalize(path=tmp)
     except BaseException:
         builder.abort()
         raise
-    tmp = os.path.join(base, f".{manifest_stem(target)}.compact."
-                             f"{os.getpid()}.tmp")
-    merged = builder.finalize(path=tmp)
     merged.close()
     try:
         header = read_segment_header(tmp)

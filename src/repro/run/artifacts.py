@@ -57,6 +57,16 @@ FORMAT_VERSION = 1
 #: including pre-columnar ``.jsonl.gz`` ones — stay loadable.
 DATASET_FORMATS = ("lshd", "lshm", "jsonl.gz", "jsonl")
 
+#: Resource-lifetime contract enforced by ``repro.lint``: the store
+#: manifest is only ever written through the atomic JSON writer below.
+LINT_RESOURCE_CONTRACT = {
+    "codec": "store",
+    "atomic": {
+        "suffixes": [".manifest.json"],
+        "writers": ["_atomic_write_json"],
+    },
+}
+
 
 def _jsonable_config(config: object) -> object:
     """A canonical JSON-safe view of a (possibly nested) config object."""

@@ -67,6 +67,32 @@ KIND_FILE = "file"
 #: Valid ``freeze_world(mode=...)`` values.
 FREEZE_MODES = ("auto", "shm", "file")
 
+#: Resource-lifetime contract enforced by ``repro.lint``.  A pure
+#: literal merged into the linter's contract registry; keep in sync with
+#: the pack/reader surface below.
+LINT_RESOURCE_CONTRACT = {
+    "codec": "worldpack",
+    "resources": [
+        {"name": "worldpack",
+         "acquire": ["freeze_world", "WorldPack"],
+         "release_methods": ["release"],
+         "release_funcs": ["release_worldpack"]},
+        {"name": "worldpack-reader",
+         "acquire": ["WorldPackReader"],
+         "release_methods": ["close"]},
+    ],
+    "buffers": [
+        {"name": "worldpack-reader",
+         "acquire": ["WorldPackReader"],
+         "close_methods": ["close"],
+         "view_methods": ["array"]},
+    ],
+    "atomic": {
+        "suffixes": [".lshw"],
+        "writers": ["write_worldpack_file", "write_worldpack_shm"],
+    },
+}
+
 #: Per-domain attribute columns: fixed little-endian dtypes, one code per
 #: rank (``-1`` encodes None for the optional attributes).
 ARRAY_DTYPES = {

@@ -1,0 +1,332 @@
+"""Unit tests of the lint CFG builder and resource-lifetime dataflow.
+
+These exercise the machinery under the flow-sensitive rules directly:
+``finally`` duplication (one finally copy per way control can enter it),
+``with``-block unwinding, loop back edges, exceptional edges, None-guard
+edge labeling, alias-aware release, and the exceptional-edge state
+refinements (handoff directives, failures inside the release call).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List
+
+from repro.lint.cfg import (
+    KIND_BRANCH,
+    KIND_LOOP,
+    KIND_STMT,
+    KIND_WITH_EXIT,
+    build_cfg,
+)
+from repro.lint.config import LintConfig
+from repro.lint.engine import analyze_sources
+from repro.lint.report import Finding
+
+LIFETIME_RULES = ("resource-leak", "release-guard", "buffer-escape",
+                  "atomic-write")
+
+
+def cfg_for(source: str):
+    tree = ast.parse(textwrap.dedent(source).strip("\n"))
+    func = next(node for node in ast.walk(tree)
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)))
+    return build_cfg(func)
+
+
+def lifetime_findings(source: str) -> List[Finding]:
+    config = LintConfig(targets=(), selected_rules=LIFETIME_RULES)
+    return analyze_sources(
+        [("src/repro/fake/mod.py", "error", textwrap.dedent(source))],
+        config)
+
+
+def nodes_at_line(cfg, line: int):
+    return [node for node in cfg.nodes if node.line == line]
+
+
+# --------------------------------------------------------------------- #
+# CFG structure
+
+def test_straight_line_reaches_exit():
+    cfg = cfg_for("""
+        def f(x):
+            y = x + 1
+            return y
+    """)
+    stmts = [n for n in cfg.nodes if n.kind == KIND_STMT]
+    assert len(stmts) == 2
+    return_node = stmts[-1]
+    assert cfg.exit in return_node.succ
+
+
+def test_call_statements_get_exceptional_edges():
+    cfg = cfg_for("""
+        def f(x):
+            y = g(x)
+            z = y + 1
+            return z
+    """)
+    call_node = nodes_at_line(cfg, 2)[0]
+    arith_node = nodes_at_line(cfg, 3)[0]
+    assert cfg.raise_exit in call_node.exc
+    assert arith_node.exc == []
+
+
+def test_raise_routes_only_to_raise_exit():
+    cfg = cfg_for("""
+        def f():
+            raise ValueError("boom")
+    """)
+    raise_node = nodes_at_line(cfg, 2)[0]
+    assert raise_node.succ == []
+    assert cfg.raise_exit in raise_node.exc
+
+
+def test_finally_body_is_duplicated_per_entry_path():
+    # Normal completion, exception propagation, and the early return
+    # each get their own copy of the finally body.
+    cfg = cfg_for("""
+        def f(handle, flag):
+            try:
+                if flag:
+                    return 1
+                work(handle)
+            finally:
+                handle.close()
+    """)
+    close_copies = nodes_at_line(cfg, 7)
+    assert len(close_copies) >= 3
+
+
+def test_return_in_try_unwinds_through_finally_to_exit():
+    cfg = cfg_for("""
+        def f(handle):
+            try:
+                return 1
+            finally:
+                handle.close()
+    """)
+    return_node = nodes_at_line(cfg, 3)[0]
+    # The return must NOT edge straight to exit; it threads a finally
+    # copy first.
+    assert cfg.exit not in return_node.succ
+
+    def reaches_exit_via(line: int, start: int) -> bool:
+        seen, work, via = set(), [start], False
+        while work:
+            index = work.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            node = cfg.node(index)
+            if node.line == line:
+                via = True
+            if index == cfg.exit:
+                return via
+            work.extend(node.succ)
+        return False
+
+    assert reaches_exit_via(5, return_node.index)
+
+
+def test_loop_has_back_edge_and_after_path():
+    cfg = cfg_for("""
+        def f(items):
+            for item in items:
+                use(item)
+            return None
+    """)
+    head = next(n for n in cfg.nodes if n.kind == KIND_LOOP)
+    body = nodes_at_line(cfg, 3)[0]
+    assert body.index in head.succ
+    assert head.index in body.succ          # back edge
+
+
+def test_break_unwinds_through_with_exit():
+    cfg = cfg_for("""
+        def f(items, cm):
+            for item in items:
+                with cm:
+                    break
+            return None
+    """)
+    with_exits = [n for n in cfg.nodes if n.kind == KIND_WITH_EXIT]
+    assert with_exits, "break must thread a with-exit node"
+
+
+def test_if_branch_edges_are_labeled():
+    cfg = cfg_for("""
+        def f(handle):
+            if handle is not None:
+                handle.close()
+            return None
+    """)
+    branch = next(n for n in cfg.nodes if n.kind == KIND_BRANCH)
+    assert branch.true_succ is not None
+    assert branch.false_succ is not None
+    assert branch.true_succ != branch.false_succ
+    # True edge enters the body (the close call at line 3).
+    assert cfg.node(branch.true_succ).line == 3
+
+
+def test_while_none_test_edges_are_labeled():
+    cfg = cfg_for("""
+        def f(queue):
+            item = queue.pop()
+            while item is not None:
+                item = queue.pop()
+            return None
+    """)
+    head = next(n for n in cfg.nodes if n.kind == KIND_LOOP)
+    assert head.true_succ is not None and head.false_succ is not None
+
+
+# --------------------------------------------------------------------- #
+# Dataflow semantics
+
+def test_release_through_alias_covers_all_bindings():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle):
+            reader = open_shard(handle)
+            alias = reader
+            alias.close()
+    """)
+    assert findings == []
+
+
+def test_del_of_sole_binding_is_a_leak():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle):
+            reader = open_shard(handle)
+            del reader
+    """)
+    assert [f.rule_id for f in findings] == ["resource-leak"]
+
+
+def test_del_of_alias_keeps_other_binding_alive():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle):
+            reader = open_shard(handle)
+            alias = reader
+            del alias
+            reader.close()
+    """)
+    assert findings == []
+
+
+def test_early_raise_before_release_is_guard_finding():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, flag):
+            reader = open_shard(handle)
+            if flag:
+                raise ValueError("bad")
+            reader.close()
+    """)
+    assert [f.rule_id for f in findings] == ["release-guard"]
+
+
+def test_exception_in_loop_body_with_finally_is_clean():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handles):
+            for handle in handles:
+                reader = open_shard(handle)
+                try:
+                    consume(reader)
+                finally:
+                    reader.close()
+    """)
+    assert findings == []
+
+
+def test_handoff_directive_covers_exceptional_edge():
+    # The push itself can raise; the documented transfer covers that
+    # path too (the statement is the handoff).
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, consumer):
+            reader = open_shard(handle)
+            consumer.push(reader)  # lint: handoff(consumer owns it)
+    """)
+    assert findings == []
+
+
+def test_fluent_chain_acquisition_is_tracked():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import ShardExchange
+
+        def f(spec, flag):
+            exchange = ShardExchange(spec).open()
+            if flag:
+                return None
+            exchange.close()
+    """)
+    assert [f.rule_id for f in findings] == ["resource-leak"]
+
+
+def test_with_managed_resource_never_leaks_on_raise():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import ShardExchange
+
+        def f(spec, flag):
+            with ShardExchange(spec) as exchange:
+                if flag:
+                    raise ValueError("bad")
+                use(exchange)
+    """)
+    assert findings == []
+
+
+def test_none_guard_prunes_infeasible_leak_path():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, flag):
+            reader = None
+            if flag:
+                reader = open_shard(handle)
+            if reader is not None:
+                reader.close()
+    """)
+    assert findings == []
+
+
+def test_truthiness_guard_prunes_like_none_guard():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, flag):
+            reader = None
+            if flag:
+                reader = open_shard(handle)
+            if reader:
+                reader.close()
+    """)
+    assert findings == []
+
+
+def test_unguarded_branch_still_leaks_despite_other_guards():
+    findings = lifetime_findings("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, flag):
+            reader = open_shard(handle)
+            if flag:
+                return None
+            if reader is not None:
+                reader.close()
+    """)
+    assert [f.rule_id for f in findings] == ["resource-leak"]

@@ -677,6 +677,393 @@ def test_repro_geoblock_lint_subcommand(capsys):
 
 
 # --------------------------------------------------------------------- #
+# resource-leak (flow-sensitive acquire/release pairing)
+
+def test_resource_leak_flags_early_return_branch():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, flag):
+            reader = open_shard(handle)
+            if flag:
+                return None
+            reader.close()
+    """)
+    assert rule_ids(findings) == ["resource-leak"]
+    assert "open_shard" in findings[0].message
+    assert findings[0].trace, "path trace required"
+    assert findings[0].trace[0]["line"] == 5
+
+
+def test_resource_leak_flags_loop_continue_rebinding():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handles):
+            for handle in handles:
+                reader = open_shard(handle)
+                if reader.empty:
+                    continue
+                reader.close()
+    """)
+    assert rule_ids(findings) == ["resource-leak"]
+
+
+def test_resource_leak_clean_when_both_branches_release():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, flag):
+            reader = open_shard(handle)
+            if flag:
+                reader.close()
+                return None
+            reader.close()
+            return 1
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_resource_leak_clean_for_with_block():
+    findings = run_lint("""
+        from repro.lumscan.shards import ShardExchange
+
+        def f(spec):
+            with ShardExchange(spec) as exchange:
+                return exchange.spec()
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_resource_leak_clean_on_return_handoff():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle):
+            reader = open_shard(handle)
+            return reader
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_resource_leak_clean_on_self_store_handoff():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        class Pool:
+            def adopt(self, handle):
+                self._reader = open_shard(handle)
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_resource_leak_clean_with_handoff_directive():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, consumer):
+            reader = open_shard(handle)
+            consumer.push(reader)  # lint: handoff(consumer owns it)
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_resource_leak_flags_module_release_func_on_one_path_only():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard, release_shard
+
+        def f(handle, flag):
+            reader = open_shard(handle)
+            if flag:
+                release_shard(reader)
+    """)
+    assert rule_ids(findings) == ["resource-leak"]
+
+
+def test_resource_leak_respects_none_guard_correlation():
+    findings = run_lint("""
+        from repro.lumscan.shards import SpillDatasetBuilder
+
+        def f(spill, payload):
+            merger = None
+            if spill:
+                merger = SpillDatasetBuilder(directory=spill)
+            try:
+                if merger is not None:
+                    merger.extend_columns(payload)
+            finally:
+                if merger is not None:
+                    merger.abort()
+    """)
+    assert rule_ids(findings) == []
+
+
+# --------------------------------------------------------------------- #
+# release-guard (exception-safe cleanup)
+
+def test_release_guard_flags_fallthrough_only_release():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle):
+            reader = open_shard(handle)
+            data = reader.read()
+            reader.close()
+            return data
+    """)
+    assert rule_ids(findings) == ["release-guard"]
+    # Anchored at the unguarded release, with the full path trace.
+    assert findings[0].line == 7
+    assert [step["line"] for step in findings[0].trace] == [5, 6, 7]
+
+
+def test_release_guard_clean_when_release_in_finally():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle):
+            reader = open_shard(handle)
+            try:
+                return reader.spec
+            finally:
+                reader.close()
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_release_guard_clean_for_close_and_reraise_handler():
+    findings = run_lint("""
+        from repro.lumscan.shards import SegmentMapping, decode_shard
+
+        def f(path):
+            mapping = SegmentMapping(path)
+            try:
+                columns = decode_shard(mapping.buffer)
+                rows = list(columns)
+            except BaseException:
+                mapping.close()
+                raise
+            mapping.close()
+            return rows
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_release_guard_clean_when_release_call_itself_raises():
+    # An exception *inside* close() is the callee's contract, not a
+    # missing guard around it.
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle):
+            reader = open_shard(handle)
+            reader.close()
+    """)
+    assert rule_ids(findings) == []
+
+
+# --------------------------------------------------------------------- #
+# buffer-escape (views must not outlive close())
+
+def test_buffer_escape_flags_view_stored_to_self():
+    findings = run_lint("""
+        from repro.websim.worldpack import WorldPackReader
+
+        class Cache:
+            def load(self, path):
+                reader = WorldPackReader(path)
+                try:
+                    self._codes = reader.array("codes")
+                finally:
+                    reader.close()
+    """)
+    assert rule_ids(findings) == ["buffer-escape"]
+    assert "self._codes" in findings[0].message
+    notes = [step["note"] for step in findings[0].trace]
+    assert any("closed" in note for note in notes)
+
+
+def test_buffer_escape_flags_intermediate_variable_escape():
+    findings = run_lint("""
+        from repro.lumscan.shards import SegmentMapping
+
+        class Cache:
+            def load(self, path):
+                mapping = SegmentMapping(path)
+                try:
+                    raw = mapping.buffer
+                    self._raw = raw
+                finally:
+                    mapping.close()
+    """)
+    assert rule_ids(findings) == ["buffer-escape"]
+
+
+def test_buffer_escape_clean_when_view_is_copied():
+    findings = run_lint("""
+        from repro.websim.worldpack import WorldPackReader
+
+        class Cache:
+            def load(self, path):
+                reader = WorldPackReader(path)
+                try:
+                    self._codes = bytes(reader.array("codes"))
+                finally:
+                    reader.close()
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_buffer_escape_clean_when_buffer_travels_with_view():
+    findings = run_lint("""
+        from repro.websim.worldpack import WorldPackReader
+
+        def f(path):
+            reader = WorldPackReader(path)
+            return reader, reader.array("codes")
+    """)
+    assert rule_ids(findings) == []
+
+
+# --------------------------------------------------------------------- #
+# atomic-write (temp-then-rename discipline)
+
+def test_atomic_write_flags_direct_checkpoint_write():
+    findings = run_lint("""
+        def f(stem, payload):
+            with open(f"{stem}.lshd", "wb") as out:
+                out.write(payload)
+    """)
+    assert rule_ids(findings) == ["atomic-write"]
+    assert ".lshd" in findings[0].message
+
+
+def test_atomic_write_flags_write_text_on_manifest():
+    findings = run_lint("""
+        def f(root, text):
+            target = f"{root}/manifest.json"
+            target.write_text(text)
+    """)
+    assert rule_ids(findings) == ["atomic-write"]
+
+
+def test_atomic_write_flags_temp_never_renamed():
+    findings = run_lint("""
+        def f(stem, payload):
+            tmp = f"{stem}.lshd.tmp"
+            with open(tmp, "wb") as out:
+                out.write(payload)
+    """)
+    assert rule_ids(findings) == ["atomic-write"]
+    assert "never renamed" in findings[0].message
+
+
+def test_atomic_write_clean_for_temp_then_rename():
+    findings = run_lint("""
+        import os
+
+        def f(stem, payload):
+            tmp = f"{stem}.lshd.tmp"
+            with open(tmp, "wb") as out:
+                out.write(payload)
+            os.replace(tmp, f"{stem}.lshd")
+    """)
+    assert rule_ids(findings) == []
+
+
+def test_atomic_write_clean_for_read_mode_and_unprotected_suffix():
+    findings = run_lint("""
+        def f(stem):
+            with open(f"{stem}.lshd", "rb") as handle:
+                head = handle.read(4)
+            with open(f"{stem}.log", "w") as log:
+                log.write("ok")
+            return head
+    """)
+    assert rule_ids(findings) == []
+
+
+# --------------------------------------------------------------------- #
+# Contract registry: module self-registration
+
+def test_module_declared_contract_is_enforced():
+    findings = run_lint("""
+        LINT_RESOURCE_CONTRACT = {
+            "codec": "probe",
+            "resources": [
+                {"name": "probe-session",
+                 "acquire": ["open_probe"],
+                 "release_methods": ["shutdown"]},
+            ],
+        }
+
+        def f(target, flag):
+            session = open_probe(target)
+            if flag:
+                return None
+            session.shutdown()
+    """)
+    assert rule_ids(findings) == ["resource-leak"]
+    assert "probe-session" in findings[0].message
+
+
+def test_trace_round_trips_through_json():
+    findings = run_lint("""
+        from repro.lumscan.shards import open_shard
+
+        def f(handle, flag):
+            reader = open_shard(handle)
+            if flag:
+                return None
+            reader.close()
+    """)
+    payload = json.loads(render_json(findings))
+    assert payload["version"] == 2
+    traces = [f["trace"] for f in payload["findings"]]
+    assert traces and all(
+        {"line", "note"} <= set(step) for trace in traces for step in trace)
+
+
+# --------------------------------------------------------------------- #
+# CLI: --explain and internal-error reporting
+
+def test_cli_explain_prints_rationale_example_and_fix(capsys):
+    assert lint_main(["--explain", "resource-leak"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "resource-leak" in out
+    assert "Why:" in out
+    assert "Example finding:" in out
+    assert "Sanctioned fix:" in out
+    assert "# lint: handoff" in out
+
+
+def test_cli_explain_unknown_rule_is_usage_error(capsys):
+    assert lint_main(["--explain", "no-such-rule"]) == EXIT_USAGE
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_internal_error_lands_in_json_report(tmp_path, capsys,
+                                                 monkeypatch):
+    import repro.lint.cli as cli_module
+
+    def boom(config):
+        raise RuntimeError("injected analyzer crash")
+
+    monkeypatch.setattr(cli_module, "analyze_paths", boom)
+    out_file = tmp_path / "lint-report.json"
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text("x = 1\n")
+    code = lint_main([str(fixture), "--out", str(out_file)])
+    err = capsys.readouterr().err
+    assert code == EXIT_USAGE
+    assert "internal error" in err
+    payload = json.loads(out_file.read_text())
+    assert payload["internal_error"]["type"] == "RuntimeError"
+    assert "injected analyzer crash" in payload["internal_error"]["message"]
+    assert "Traceback" in payload["internal_error"]["traceback"]
+
+
+# --------------------------------------------------------------------- #
 # Acceptance: the shipped tree itself
 
 def test_src_repro_is_clean_with_zero_suppressions(capsys):
